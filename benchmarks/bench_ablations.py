@@ -1,0 +1,14 @@
+"""Ablation bench: knock out each Flywheel design choice."""
+
+from conftest import once
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, ctx):
+    rows = once(benchmark, lambda: ablations.run(ctx))
+    avg = rows[-1]
+    # Shape: no knocked-out mechanism should *improve* the geomean much —
+    # each exists for a reason — and a 4x smaller EC never helps.
+    assert avg["ec_4k"] <= avg["full"] * 1.10
+    assert avg["no_redistribution"] <= avg["full"] * 1.10

@@ -1,0 +1,14 @@
+"""Section-5 residency bench: time on the Execution-Cache path."""
+
+from conftest import once
+
+from repro.experiments import residency
+
+
+def test_ec_residency(benchmark, ctx):
+    rows = once(benchmark, lambda: residency.run(ctx))
+    by_bench = {r["benchmark"]: r for r in rows}
+    # Shape: loopy codes live on the EC path; vortex (huge code footprint)
+    # has the lowest residency (paper: most >90%, vortex <60%).
+    assert by_bench["mesa"]["ec_residency_%"] > 50.0
+    assert by_bench["vortex"]["ec_residency_%"] < 75.0

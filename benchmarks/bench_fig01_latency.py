@@ -1,0 +1,13 @@
+"""Fig. 1 bench: latency-scaling model across all five nodes."""
+
+from conftest import once
+
+from repro.experiments import fig01_latency
+
+
+def test_fig01_latency(benchmark):
+    rows = once(benchmark, lambda: fig01_latency.run(None))
+    assert len(rows) == 6
+    # Shape: the cache catches up with the issue window by 0.06um.
+    iw, cache = rows[0], rows[2]
+    assert cache["0.25um"] / iw["0.25um"] > cache["0.06um"] / iw["0.06um"]

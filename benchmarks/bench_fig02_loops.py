@@ -1,0 +1,14 @@
+"""Fig. 2 bench: pipeline-loop sensitivity on the baseline core."""
+
+from conftest import once
+
+from repro.experiments import fig02_loops
+
+
+def test_fig02_pipeline_loops(benchmark, ctx):
+    rows = once(benchmark, lambda: fig02_loops.run(ctx))
+    avg = rows[-1]
+    # Shape: losing back-to-back scheduling hurts far more than one more
+    # front-end stage (paper: <3% vs ~30%).
+    assert avg["wakeup_select_%"] > 2 * avg["fetch_mispredict_%"]
+    assert avg["fetch_mispredict_%"] < 5.0

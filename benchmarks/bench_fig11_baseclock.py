@@ -1,0 +1,14 @@
+"""Fig. 11 bench: Flywheel vs baseline at equal clock speeds."""
+
+from conftest import once
+
+from repro.experiments import fig11_same_clock
+
+
+def test_fig11_same_clock(benchmark, ctx):
+    rows = once(benchmark, lambda: fig11_same_clock.run(ctx))
+    by_bench = {r["benchmark"]: r for r in rows}
+    # Shape: both configurations stay within sane bounds of the baseline,
+    # and the loopy benchmark keeps the most of its performance.
+    assert 0.3 < by_bench["geomean"]["flywheel"] <= 1.3
+    assert by_bench["mesa"]["flywheel"] > by_bench["vortex"]["flywheel"]

@@ -1,0 +1,16 @@
+"""Fig. 12 bench: the clock-speedup sweep."""
+
+from conftest import once
+
+from repro.experiments import fig12_performance
+
+
+def test_fig12_clock_sweep(benchmark, ctx):
+    rows = once(benchmark, lambda: fig12_performance.run(ctx))
+    avg = rows[-1]
+    # Shape: raising the front-end clock never collapses performance, and
+    # the fastest configuration beats the slow-front-end one on average.
+    assert avg["FE100%,BE50%"] > 0.85 * avg["FE0%,BE50%"]
+    # Trace-execution speedup is visible: best config beats equal clocks.
+    mesa = next(r for r in rows if r["benchmark"] == "mesa")
+    assert mesa["FE50%,BE50%"] > 0.7

@@ -1,0 +1,14 @@
+"""Fig. 13 bench: normalized energy at 130nm."""
+
+from conftest import once
+
+from repro.experiments import fig13_energy
+
+
+def test_fig13_energy(benchmark, ctx):
+    rows = once(benchmark, lambda: fig13_energy.run(ctx))
+    by_bench = {r["benchmark"]: r for r in rows}
+    # Shape: the high-residency benchmark saves energy; the low-residency
+    # one (vortex) saves the least (paper: gcc/equake most, vortex least).
+    assert by_bench["mesa"]["FE100%,BE50%"] < by_bench["vortex"]["FE100%,BE50%"]
+    assert by_bench["mesa"]["FE100%,BE50%"] < 1.15

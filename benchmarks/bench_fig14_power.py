@@ -1,0 +1,13 @@
+"""Fig. 14 bench: normalized power at 130nm."""
+
+from conftest import once
+
+from repro.experiments import fig14_power
+
+
+def test_fig14_power(benchmark, ctx):
+    rows = once(benchmark, lambda: fig14_power.run(ctx))
+    avg = rows[-1]
+    # Shape: power rises with the front-end clock (paper: +2% -> +15%).
+    assert avg["FE100%,BE50%"] > avg["FE0%,BE50%"]
+    assert avg["FE0%,BE50%"] < 1.5

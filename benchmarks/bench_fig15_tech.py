@@ -1,0 +1,14 @@
+"""Fig. 15 bench: energy savings across 130/90/60nm."""
+
+from conftest import once
+
+from repro.experiments import fig15_technology
+
+
+def test_fig15_technology(benchmark, ctx):
+    rows = once(benchmark, lambda: fig15_technology.run(ctx))
+    by_bench = {r["benchmark"]: r for r in rows}
+    mesa = by_bench["mesa"]
+    # Shape: relative energy creeps up as leakage grows (paper 0.70->0.80).
+    assert mesa["130nm"] <= mesa["90nm"] + 0.02
+    assert mesa["90nm"] <= mesa["60nm"] + 0.02

@@ -1,0 +1,21 @@
+"""Simulator-throughput microbenchmarks (not a paper figure).
+
+Tracks instructions-per-second of both cores so regressions in the
+simulator's own performance are caught.
+"""
+
+from repro.core.sim import run_baseline, run_flywheel
+
+
+def test_baseline_sim_speed(benchmark):
+    def run():
+        return run_baseline("smoke", max_instructions=4000, warmup=1000)
+    result = benchmark(run)
+    assert result.stats.committed >= 4000
+
+
+def test_flywheel_sim_speed(benchmark):
+    def run():
+        return run_flywheel("smoke", max_instructions=4000, warmup=1000)
+    result = benchmark(run)
+    assert result.stats.committed >= 4000

@@ -1,0 +1,14 @@
+"""Table 1 bench: module frequencies vs the paper's numbers."""
+
+from conftest import once
+
+from repro.experiments import table1_freq
+from repro.timing.frequency import PAPER_TABLE1, TABLE1_NODES
+
+
+def test_table1_frequencies(benchmark):
+    rows = once(benchmark, lambda: table1_freq.run(None))
+    for row in rows:
+        for node in TABLE1_NODES:
+            paper = PAPER_TABLE1[row["module"]][node]
+            assert abs(row[f"{node}um"] - paper) / paper < 0.06

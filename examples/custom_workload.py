@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Define a custom synthetic workload and measure Flywheel sensitivity.
+
+Shows the library's workload API: build a profile from scratch (here, a
+deliberately branch-hostile pointer-chaser and a branch-friendly vector
+kernel), generate the programs, and see how EC residency and the
+Flywheel's advantage react — the core trade-off of the paper.
+"""
+
+from repro.core import run_baseline, run_flywheel
+from repro.core.config import ClockPlan
+from repro.workloads import WorkloadProfile, generate_program
+
+KERNELS = (
+    WorkloadProfile(
+        name="vector-kernel",
+        num_funcs=3, blocks_per_func=(2, 3), instrs_per_block=(10, 14),
+        inner_loop_prob=0.9, diamond_prob=0.1, loop_trip=(64, 128),
+        fp_frac=0.5, serial_frac=0.15, hot_dest_bias=0.05,
+        random_branch_frac=0.05, hot_frac=0.9, warm_frac=0.08,
+        random_access_frac=0.05,
+    ),
+    WorkloadProfile(
+        name="pointer-chaser",
+        num_funcs=24, blocks_per_func=(4, 8), instrs_per_block=(3, 6),
+        inner_loop_prob=0.2, diamond_prob=0.9, loop_trip=(3, 10),
+        serial_frac=0.7, hot_dest_bias=0.3, hot_dest_count=2,
+        random_branch_frac=0.5, hot_frac=0.6, warm_frac=0.3,
+        random_access_frac=0.5,
+    ),
+)
+
+
+def main() -> None:
+    clock = ClockPlan(fe_speedup=0.5, be_speedup=0.5)
+    budget = dict(max_instructions=15_000, warmup=40_000)
+    for profile in KERNELS:
+        program = generate_program(profile)
+        print(f"\n=== {profile.name} ===")
+        print(f"static instructions: {program.num_static_instrs}, "
+              f"code footprint: {program.code_bytes // 1024} KiB")
+        base = run_baseline(program, **budget)
+        fly = run_flywheel(program, clock=clock, **budget)
+        print(f"baseline IPC {base.stats.ipc:.2f}, "
+              f"mispredict rate {base.stats.mispredict_rate:.1%}")
+        print(f"flywheel: EC residency {fly.stats.ec_residency:.0%}, "
+              f"speedup {base.stats.sim_time_ps / fly.stats.sim_time_ps:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

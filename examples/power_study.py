@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Energy/power breakdown study across technology nodes.
+
+Runs the Flywheel and the baseline on two contrasting workloads (loopy
+`mesa` vs code-heavy `vortex`) and prints a per-structure dynamic-energy
+breakdown plus the static/clock split at 130nm, 90nm and 60nm — the
+mechanics behind the paper's Figs. 13 and 15.
+"""
+
+from repro.core import run_baseline, run_flywheel
+from repro.core.config import ClockPlan
+from repro.power import TECH_130, TECH_60, TECH_90, energy_report
+
+
+def _top_events(report, n=6):
+    items = sorted(report.by_event.items(), key=lambda kv: -kv[1])[:n]
+    total = report.dynamic_pj
+    return ", ".join(f"{k} {v / total:.0%}" for k, v in items)
+
+
+def main() -> None:
+    budget = dict(max_instructions=15_000, warmup=40_000)
+    clock = ClockPlan(fe_speedup=1.0, be_speedup=0.5)
+
+    for bench in ("mesa", "vortex"):
+        base = run_baseline(bench, **budget)
+        fly = run_flywheel(bench, clock=clock, **budget)
+        print(f"\n=== {bench} (EC residency "
+              f"{fly.stats.ec_residency:.0%}) ===")
+        for tech in (TECH_130, TECH_90, TECH_60):
+            eb = energy_report(base, tech)
+            ef = energy_report(fly, tech)
+            print(f"{tech.name}: E(fly)/E(base) = "
+                  f"{ef.total_pj / eb.total_pj:.2f}   "
+                  f"baseline split dyn/clk/static = "
+                  f"{eb.dynamic_pj / eb.total_pj:.0%}/"
+                  f"{eb.clock_pj / eb.total_pj:.0%}/"
+                  f"{eb.static_fraction:.0%}")
+        eb = energy_report(base, TECH_130)
+        print(f"top baseline consumers: {_top_events(eb)}")
+
+
+if __name__ == "__main__":
+    main()

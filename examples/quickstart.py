@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: run both cores on one workload and compare.
+
+Simulates the ``gcc``-like synthetic benchmark on the fully synchronous
+baseline and on the Flywheel microarchitecture at the paper's headline
+clock plan (front-end +50%, trace-execution back-end +50%), then prints
+performance, EC-path residency and an energy comparison at 130nm.
+"""
+
+from repro.core import run_baseline, run_flywheel
+from repro.core.config import ClockPlan
+from repro.power import TECH_130, energy_report
+
+
+def main() -> None:
+    bench = "gcc"
+    budget = dict(max_instructions=20_000, warmup=40_000)
+
+    print(f"simulating '{bench}' ...")
+    base = run_baseline(bench, **budget)
+    fly = run_flywheel(bench, clock=ClockPlan(fe_speedup=0.5,
+                                              be_speedup=0.5), **budget)
+
+    bs, fs = base.stats, fly.stats
+    print(f"\nbaseline : {bs.committed} instrs in {bs.total_be_cycles} "
+          f"cycles (IPC {bs.ipc:.2f}), {bs.time_seconds * 1e6:.1f} us")
+    print(f"flywheel : {fs.committed} instrs in {fs.total_be_cycles} "
+          f"BE cycles (IPC {fs.ipc:.2f}), {fs.time_seconds * 1e6:.1f} us")
+    print(f"speedup  : {bs.sim_time_ps / fs.sim_time_ps:.2f}x")
+    print(f"EC path  : {fs.ec_residency:.0%} of back-end time "
+          f"({fs.traces_built} traces built, {fs.trace_hits} replays)")
+    print(f"mispredicts: baseline {bs.mispredict_rate:.1%}, "
+          f"flywheel {fs.mispredict_rate:.1%}")
+
+    eb = energy_report(base, TECH_130)
+    ef = energy_report(fly, TECH_130)
+    print(f"\nenergy @130nm: baseline {eb.total_j * 1e3:.2f} mJ, "
+          f"flywheel {ef.total_j * 1e3:.2f} mJ "
+          f"(ratio {ef.total_pj / eb.total_pj:.2f})")
+    print(f"power  @130nm: baseline {eb.power_w:.1f} W, "
+          f"flywheel {ef.power_w:.1f} W")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — a reproduction of "Increased Scalability and Power Efficiency
+by Using Multiple Speed Pipelines" (Talpes & Marculescu, ISCA 2005).
+
+The package implements the paper's *Flywheel* microarchitecture and its
+fully synchronous baseline as cycle-level simulators, together with the
+synthetic SPEC-like workload substrate, CACTI-style latency scaling,
+Wattch-style power models, and an experiment harness that regenerates
+every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import run_baseline, run_flywheel, ClockPlan
+    base = run_baseline("gcc")
+    fly = run_flywheel("gcc", clock=ClockPlan(fe_speedup=0.5,
+                                              be_speedup=0.5))
+    print(base.stats.ipc, fly.stats.ec_residency)
+"""
+
+from repro.core import (
+    BaselineCore,
+    ClockPlan,
+    CoreConfig,
+    FlywheelConfig,
+    FlywheelCore,
+    SimResult,
+    SimStats,
+    run_baseline,
+    run_flywheel,
+)
+from repro.errors import ConfigError, ReproError, SimulationError, WorkloadError
+from repro.power import energy_report
+from repro.workloads import (
+    PROFILES,
+    SPEC_NAMES,
+    WorkloadProfile,
+    generate_program,
+    get_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselineCore",
+    "FlywheelCore",
+    "ClockPlan",
+    "CoreConfig",
+    "FlywheelConfig",
+    "SimResult",
+    "SimStats",
+    "run_baseline",
+    "run_flywheel",
+    "energy_report",
+    "PROFILES",
+    "SPEC_NAMES",
+    "WorkloadProfile",
+    "generate_program",
+    "get_profile",
+    "ReproError",
+    "ConfigError",
+    "WorkloadError",
+    "SimulationError",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Result presentation helpers: ASCII charts and markdown tables."""
+
+from repro.analysis.charts import bar_chart, series_table
+from repro.analysis.report import markdown_table
+
+__all__ = ["bar_chart", "series_table", "markdown_table"]

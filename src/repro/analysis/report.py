@@ -1,0 +1,18 @@
+"""Markdown rendering of experiment rows (used to build EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+
+def markdown_table(rows: Sequence[Mapping], columns: List[str]) -> str:
+    """Render experiment rows as a GitHub-flavoured markdown table."""
+    out = ["| " + " | ".join(columns) + " |",
+           "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        cells = []
+        for col in columns:
+            v = row.get(col, "")
+            cells.append(f"{v:.3f}" if isinstance(v, float) else str(v))
+        out.append("| " + " | ".join(cells) + " |")
+    return "\n".join(out)

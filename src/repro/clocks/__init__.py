@@ -1,0 +1,15 @@
+"""Multi-clock-domain simulation kernel.
+
+The Flywheel design runs the pipeline front-end and back-end in separate
+clock domains whose frequencies change with the operating mode. This
+package provides picosecond-resolution domains, an interleaving tick
+scheduler, and the mixed-clock FIFO synchronizers that carry messages
+between domains at the cost of a synchronization latency (as in the
+Dual Clock Issue Window of the paper and its reference [11]).
+"""
+
+from repro.clocks.domain import ClockDomain, mhz_to_period_ps
+from repro.clocks.scheduler import TickScheduler
+from repro.clocks.synchronizer import SyncFifo
+
+__all__ = ["ClockDomain", "mhz_to_period_ps", "TickScheduler", "SyncFifo"]

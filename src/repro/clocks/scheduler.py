@@ -1,0 +1,35 @@
+"""Deterministic interleaving of clock-domain ticks.
+
+With only a handful of domains a linear scan beats a heap; ties are broken
+by registration order so simulations are exactly reproducible regardless of
+frequency ratios.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.clocks.domain import ClockDomain
+from repro.errors import ConfigError
+
+
+class TickScheduler:
+    """Yields (time_ps, domain) events in non-decreasing time order."""
+
+    def __init__(self, domains: List[ClockDomain]):
+        if not domains:
+            raise ConfigError("scheduler needs at least one domain")
+        self.domains = list(domains)
+
+    def next_event(self) -> Tuple[int, ClockDomain]:
+        """Pop the earliest pending tick and advance that domain."""
+        best = self.domains[0]
+        for dom in self.domains[1:]:
+            if dom.next_tick_ps < best.next_tick_ps:
+                best = dom
+        return best.advance(), best
+
+    @property
+    def now_ps(self) -> int:
+        """Timestamp of the earliest pending tick (current sim time)."""
+        return min(d.next_tick_ps for d in self.domains)

@@ -1,0 +1,25 @@
+"""Simulated cores: the fully synchronous baseline and the Flywheel.
+
+The baseline is the paper's reference design: a nine-stage, four-way
+superscalar out-of-order pipeline with a monolithic 128-entry issue window
+(R10000-style renaming). The Flywheel core adds the Dual Clock Issue
+Window and the Execution Cache with two-phase register renaming.
+"""
+
+from repro.core.config import CoreConfig, FlywheelConfig, ClockPlan
+from repro.core.stats import SimStats
+from repro.core.baseline import BaselineCore
+from repro.core.flywheel import FlywheelCore
+from repro.core.sim import run_baseline, run_flywheel, SimResult
+
+__all__ = [
+    "CoreConfig",
+    "FlywheelConfig",
+    "ClockPlan",
+    "SimStats",
+    "BaselineCore",
+    "FlywheelCore",
+    "run_baseline",
+    "run_flywheel",
+    "SimResult",
+]

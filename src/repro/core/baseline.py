@@ -1,0 +1,283 @@
+"""Fully synchronous baseline core: nine-stage, four-way, out-of-order.
+
+Pipeline (Section 3.1): Fetch (two-cycle I-cache) -> Decode -> Rename ->
+Dispatch -> Issue (monolithic 128-entry window, single-cycle Wake-Up/
+Select) -> Register Read -> Execute -> Write Back -> Retire.
+
+Modelling decisions (documented in DESIGN.md):
+
+* Wrong paths are not executed: a mispredicted (or BTB-missing) branch
+  stalls fetch until it resolves, which yields the same timing penalty as
+  a squash-based model without tracking wrong-path state.
+* Back-to-back scheduling: a producer issued at cycle ``c`` with latency
+  ``L`` broadcasts its tag at ``c + L``; dependents can be selected the
+  same cycle (the paper's critical Wake-Up/Select loop). Setting
+  ``wakeup_extra_delay=1`` pipelines that loop (Fig. 2).
+* ``extra_frontend_stages`` lengthens the Fetch/Mispredict loop (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.config import CoreConfig
+from repro.core.stats import SimStats
+from repro.errors import SimulationError
+from repro.execute.fu import FuPool
+from repro.execute.lsq import LoadStoreQueue
+from repro.frontend.bpred import BranchPredictor
+from repro.isa import DynInstr, OpClass
+from repro.isa.opclasses import EXEC_LATENCY
+from repro.issue.window import IssueWindow
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.rename.r10k import R10KRenamer
+from repro.rob.reorder_buffer import ReorderBuffer, RobEntry
+from repro.workloads.stream import InstructionStream
+
+#: Abort the run if no instruction commits for this many cycles.
+_DEADLOCK_WINDOW = 20_000
+
+
+class BaselineCore:
+    """Cycle-level model of the paper's reference superscalar processor."""
+
+    def __init__(self, config: CoreConfig, stream: InstructionStream,
+                 mem_scale: float = 1.0,
+                 hierarchy: Optional[MemoryHierarchy] = None):
+        self.config = config
+        self.stream = stream
+        self.mem_scale = mem_scale
+        self.stats = SimStats()
+
+        self.hierarchy = hierarchy or MemoryHierarchy(config.memory)
+        self.bpred = BranchPredictor(config.bpred)
+        self.renamer = R10KRenamer(config.phys_regs)
+        self.iw = IssueWindow(config.iw_entries, config.issue_width,
+                              config.wakeup_extra_delay)
+        self.rob = ReorderBuffer(config.rob_entries)
+        self.lsq = LoadStoreQueue(config.lsq_entries)
+        self.fu = FuPool(config.int_alus, config.int_muldivs,
+                         config.mem_ports, config.fp_adders,
+                         config.fp_muldivs)
+
+        # Scoreboard: physical-register readiness.
+        self._ready = bytearray([1] * config.phys_regs)
+        # In-flight ROB entries not yet issued, keyed by sequence number.
+        self._rob_lookup: Dict[int, RobEntry] = {}
+
+        # Inter-stage latches: (ready_cycle, dyn) in program order.
+        self._fetch_out: Deque[Tuple[int, DynInstr]] = deque()
+        self._decode_out: Deque[Tuple[int, DynInstr]] = deque()
+        self._rename_out: Deque[Tuple[int, DynInstr]] = deque()
+
+        # Completion event queues keyed by cycle.
+        self._wake_events: Dict[int, List[int]] = {}
+        self._done_events: Dict[int, List[RobEntry]] = {}
+
+        self.cycle = 0
+        self._fetch_blocked = False
+        self._mispredict_seq = -1      # seq of the blocking branch
+        self._fetch_resume_cycle = 0
+
+    # --------------------------------------------------------------- run
+
+    def run(self, max_instructions: int, warmup: int = 0) -> SimStats:
+        """Simulate until ``max_instructions`` commit after warmup.
+
+        ``warmup`` instructions are first streamed through the caches and
+        branch predictor functionally (no timing), mirroring the paper's
+        fast-forward before detailed simulation.
+        """
+        if warmup:
+            self._functional_warmup(warmup)
+        last_commit_cycle = 0
+        while self.stats.committed < max_instructions:
+            committed_before = self.stats.committed
+            self.step()
+            if self.stats.committed != committed_before:
+                last_commit_cycle = self.cycle
+            elif self.cycle - last_commit_cycle > _DEADLOCK_WINDOW:
+                raise SimulationError(
+                    f"no commit for {_DEADLOCK_WINDOW} cycles at cycle "
+                    f"{self.cycle} (committed={self.stats.committed})"
+                )
+        self._finalize_stats()
+        return self.stats
+
+    def _finalize_stats(self) -> None:
+        self.stats.be_cycles_create = self.cycle
+        self.stats.fe_cycles_active = self.cycle
+
+    def _functional_warmup(self, count: int) -> None:
+        """Prime caches and predictor without timing."""
+        for _ in range(count):
+            dyn = self.stream.next_instr()
+            if dyn.seq % 4 == 0:
+                self.hierarchy.ifetch(dyn.pc, self.mem_scale)
+            if dyn.mem_addr is not None:
+                if dyn.op is OpClass.LOAD:
+                    self.hierarchy.load(dyn.mem_addr, self.mem_scale)
+                else:
+                    self.hierarchy.store(dyn.mem_addr, self.mem_scale)
+            if dyn.is_branch:
+                self.bpred.predict(dyn)
+
+    # -------------------------------------------------------------- cycle
+
+    def step(self) -> None:
+        """Advance one clock cycle."""
+        c = self.cycle
+        self.fu.begin_cycle(c)
+        self._do_writeback(c)
+        self._do_commit(c)
+        self._do_issue(c)
+        self._do_dispatch(c)
+        self._do_rename(c)
+        self._do_decode(c)
+        self._do_fetch(c)
+        self.cycle = c + 1
+
+    # Writeback: mature tag broadcasts and completions.
+    def _do_writeback(self, c: int) -> None:
+        wakes = self._wake_events.pop(c, None)
+        if wakes:
+            for tag in wakes:
+                self._ready[tag] = 1
+                self.iw.broadcast(tag, c)
+            self.stats.count("iw_broadcast", len(wakes))
+            self.stats.count("rf_write", len(wakes))
+        dones = self._done_events.pop(c, None)
+        if dones:
+            for entry in dones:
+                entry.done = True
+                if entry.mispredicted and entry.dyn.seq == self._mispredict_seq:
+                    self._mispredict_seq = -1
+                    self._fetch_blocked = False
+                    self._fetch_resume_cycle = c + 1
+
+    def _do_commit(self, c: int) -> None:
+        retired = self.rob.retire_ready(self.config.commit_width)
+        for entry in retired:
+            dyn = entry.dyn
+            if dyn.op is OpClass.STORE and dyn.mem_addr is not None:
+                self.hierarchy.store(dyn.mem_addr, self.mem_scale)
+                self.stats.count("dcache_access")
+            if entry.is_mem:
+                self.lsq.release()
+            self.renamer.commit(dyn)
+            self.stats.committed += 1
+        if retired:
+            self.stats.count("rob_read", len(retired))
+
+    def _do_issue(self, c: int) -> None:
+        # Pipelining the Wake-Up/Select loop without speculative wakeup
+        # (Fig. 2) both delays dependents by a cycle (handled in the
+        # window) and lets a selection round complete only every other
+        # cycle: the previous round's grants are not visible to the
+        # arbiter until the loop closes.
+        if self.config.wakeup_extra_delay and (c & 1):
+            return
+        selected = self.iw.select(c, self.fu)
+        for dyn in selected:
+            self._start_execution(dyn, c)
+        if selected:
+            self.stats.issued += len(selected)
+            self.stats.count("iw_select", len(selected))
+            self.stats.count("rf_read", sum(len(d.src_tags) for d in selected))
+            self.stats.count("fu_op", len(selected))
+
+    def _start_execution(self, dyn: DynInstr, c: int) -> None:
+        """Schedule wake/done events for one issued instruction."""
+        lat = EXEC_LATENCY[dyn.op]
+        if dyn.op is OpClass.LOAD:
+            lat += self.hierarchy.load(dyn.mem_addr, self.mem_scale)
+            self.stats.count("dcache_access")
+        wake = c + lat
+        done = wake + self.config.regread_stages
+        if dyn.dest_tag >= 0:
+            self._wake_events.setdefault(wake, []).append(dyn.dest_tag)
+        entry = self._rob_lookup[dyn.seq]
+        self._done_events.setdefault(done, []).append(entry)
+        del self._rob_lookup[dyn.seq]
+
+    def _do_dispatch(self, c: int) -> None:
+        n = 0
+        while self._rename_out and n < self.config.dispatch_width:
+            ready_cycle, dyn = self._rename_out[0]
+            if ready_cycle > c:
+                break
+            if self.rob.full or self.iw.free_slots == 0:
+                break
+            if dyn.mem_addr is not None and self.lsq.full:
+                break
+            self._rename_out.popleft()
+            mispredicted = dyn.seq == self._mispredict_seq
+            entry = RobEntry(dyn, mispredicted=mispredicted)
+            self.rob.insert(entry)
+            self._rob_lookup[dyn.seq] = entry
+            if dyn.mem_addr is not None:
+                self.lsq.insert()
+                self.stats.count("lsq_write")
+            self.iw.insert(dyn, self._is_ready, earliest=c + 1)
+            self.stats.count("iw_write")
+            self.stats.count("rob_write")
+            n += 1
+
+    def _is_ready(self, tag: int) -> bool:
+        return bool(self._ready[tag])
+
+    def _do_rename(self, c: int) -> None:
+        n = 0
+        while self._decode_out and n < self.config.rename_width:
+            ready_cycle, dyn = self._decode_out[0]
+            if ready_cycle > c:
+                break
+            needs_dest = dyn.dest is not None and dyn.dest != 0
+            if not self.renamer.can_rename(needs_dest):
+                break
+            self._decode_out.popleft()
+            self.renamer.rename(dyn)
+            if dyn.dest_tag >= 0:
+                self._ready[dyn.dest_tag] = 0
+            self._rename_out.append((c + 1, dyn))
+            self.stats.count("rename_op")
+            n += 1
+
+    def _do_decode(self, c: int) -> None:
+        n = 0
+        while self._fetch_out and n < self.config.decode_width:
+            ready_cycle, dyn = self._fetch_out[0]
+            if ready_cycle > c:
+                break
+            self._fetch_out.popleft()
+            self._decode_out.append((c + 1, dyn))
+            self.stats.count("decode_op")
+            n += 1
+
+    def _do_fetch(self, c: int) -> None:
+        if self._fetch_blocked or c < self._fetch_resume_cycle:
+            return
+        # Bounded fetch-side buffering: don't run ahead of the machine.
+        if len(self._fetch_out) >= 4 * self.config.fetch_width:
+            return
+        group_start: Optional[int] = None
+        delay = 0
+        for _ in range(self.config.fetch_width):
+            dyn = self.stream.next_instr()
+            if group_start is None:
+                group_start = dyn.pc
+                delay = (self.hierarchy.ifetch(dyn.pc, self.mem_scale)
+                         + self.config.extra_frontend_stages)
+                self.stats.count("icache_access")
+            self._fetch_out.append((c + delay, dyn))
+            self.stats.fetched += 1
+            if dyn.is_branch:
+                self.stats.branches += 1
+                self.stats.count("bpred_lookup")
+                correct = self.bpred.predict(dyn)
+                if not correct:
+                    self.stats.mispredicts += 1
+                    self._fetch_blocked = True
+                    self._mispredict_seq = dyn.seq
+                break  # fetch group ends at a control transfer

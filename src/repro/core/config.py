@@ -1,0 +1,146 @@
+"""Core configuration (the paper's Table 2, plus clock plans from Table 1).
+
+``CoreConfig`` describes the machine independent of clocks; ``ClockPlan``
+binds the front-end / back-end domains to frequencies. The paper sweeps
+front-end speedups of 0-100% and a back-end (trace-execution) speedup of
+50% over the issue-window-limited baseline clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.frontend.bpred import BPredConfig
+from repro.mem.hierarchy import MemoryConfig
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Microarchitecture parameters (defaults = paper Table 2, baseline)."""
+
+    # Widths
+    fetch_width: int = 4
+    decode_width: int = 4
+    rename_width: int = 4
+    dispatch_width: int = 4
+    commit_width: int = 4
+    issue_width: int = 6
+
+    # Structures
+    iw_entries: int = 128
+    rob_entries: int = 160
+    lsq_entries: int = 64
+    phys_regs: int = 192          # baseline register file
+    regread_stages: int = 1       # 2 for the Flywheel's 512-entry file
+
+    # Functional units (Table 2)
+    int_alus: int = 4
+    int_muldivs: int = 2
+    mem_ports: int = 2
+    fp_adders: int = 2
+    fp_muldivs: int = 1
+
+    # Pipeline-variant knobs (Fig. 2 loops study)
+    extra_frontend_stages: int = 0   # extra Fetch/Mispredict loop stages
+    wakeup_extra_delay: int = 0      # 1 = pipelined Wake-Up/Select (no b2b)
+
+    # Substrates
+    bpred: BPredConfig = field(default_factory=BPredConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1 or self.fetch_width < 1:
+            raise ConfigError("widths must be >= 1")
+        if self.phys_regs < 64 + self.rename_width:
+            raise ConfigError("too few physical registers to rename at all")
+        if self.iw_entries < self.issue_width:
+            raise ConfigError("issue window smaller than issue width")
+
+    def with_variant(self, **kw) -> "CoreConfig":
+        """Return a copy with some fields replaced (pipeline variants)."""
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
+class FlywheelConfig:
+    """Flywheel-specific structures on top of a :class:`CoreConfig`.
+
+    Defaults follow Table 2 and Sections 3.3-3.5: a 128K two-way Execution
+    Cache with three-cycle access and eight-instruction blocks, a 512-entry
+    register file organised as per-architected-register pools, two-cycle
+    register file access, SRT fast trace switch, and register
+    redistribution checked every 500k cycles at a 100-cycle penalty.
+    """
+
+    ec_enabled: bool = True         # False = "Register Allocation" config
+    ec_kb: int = 128
+    ec_ways: int = 2
+    ec_latency: int = 3             # cycles per data-array access
+    ec_block_slots: int = 8         # instructions per DA block
+    ec_bytes_per_slot: int = 8      # storage per pre-scheduled instruction
+    #: Traces are kept "as long as possible" (Section 3.3) so that the
+    #: recurring post-mispredict PCs dominate trace starts; a short cap
+    #: would slice loops at phase-shifting addresses and thrash the EC.
+    max_trace_units: int = 512      # safety bound on trace length
+    max_trace_instrs: int = 768     # natural trace-end threshold
+
+    pool_regs: int = 512            # Flywheel register file entries
+    default_pool_size: int = 8      # 512 / 64 architected registers
+    min_pool_size: int = 2
+    max_pool_size: int = 32
+
+    use_srt: bool = True            # speculative remapping table enabled
+    #: The paper checks the stall counters every 500k cycles over 100M
+    #: simulated instructions. Our runs are ~1000x shorter, so the default
+    #: interval is scaled down proportionally to keep the same number of
+    #: redistribution opportunities per run; pass 500_000 to model the
+    #: paper's literal setting.
+    redistribution_interval: int = 10_000    # cycles between counter checks
+    redistribution_penalty: int = 100        # cycles per redistribution
+    redistribution_enabled: bool = True
+
+    sync_cycles: int = 1            # mixed-clock FIFO latency (consumer cycles)
+    tag_window: int = 2             # duplicated tag-match depth (Sec. 3.2)
+    #: Section 3.2's cheaper alternative to duplicated tag matching: delay
+    #: the wake-up match until broadcasts are seen in the other domain,
+    #: losing exactly the back-to-back capability the design preserves.
+    delay_network: bool = False
+
+    @property
+    def ec_blocks(self) -> int:
+        """Total data-array blocks in the Execution Cache."""
+        return (self.ec_kb * 1024) // (self.ec_block_slots * self.ec_bytes_per_slot)
+
+
+@dataclass(frozen=True)
+class ClockPlan:
+    """Frequencies (MHz) for a run.
+
+    ``fe_mhz`` drives fetch/decode/rename/dispatch; ``be_mhz`` drives the
+    issue window and execution core in trace-creation mode (and is the
+    baseline's single clock); ``be_fast_mhz`` drives the execution core in
+    trace-execution mode. The paper's sweep expresses these as percentage
+    speedups over the baseline clock.
+    """
+
+    base_mhz: float = 950.0          # Table 1, 0.18um issue window
+    fe_speedup: float = 0.0          # 0.0 .. 1.0  (0% .. 100%)
+    be_speedup: float = 0.0          # trace-execution core speedup (0.5 = 50%)
+
+    @property
+    def fe_mhz(self) -> float:
+        return self.base_mhz * (1.0 + self.fe_speedup)
+
+    @property
+    def be_mhz(self) -> float:
+        return self.base_mhz
+
+    @property
+    def be_fast_mhz(self) -> float:
+        return self.base_mhz * (1.0 + self.be_speedup)
+
+    def mem_scale(self, domain_mhz: float) -> float:
+        """DRAM cycles multiplier: DRAM time is fixed in ns, so a faster
+        clock sees proportionally more cycles."""
+        return domain_mhz / self.base_mhz

@@ -1,0 +1,1055 @@
+"""The Flywheel core: Dual Clock Issue Window + Execution Cache.
+
+Two operating modes (Section 3):
+
+* **Trace creation** — instructions flow through the front-end (fetch,
+  decode, Rename phase 1) in the *front-end clock domain*, cross into the
+  back-end domain through the dual-clock dispatch FIFO, pass Register
+  Update (phase 2), and are scheduled by the monolithic issue window at
+  the slow, issue-window-limited clock. Every cycle's issued group is
+  recorded as an Issue Unit of the trace under construction.
+* **Trace execution** — on an Execution Cache hit the front-end (including
+  the Wake-Up/Select logic) is clock-gated and the back-end, clocked up to
+  50% faster, consumes Issue Units straight from the EC through the fill
+  buffer, VLIW-style. Register Update replays the recorded (arch, LID)
+  mappings; the walker supplies fresh memory addresses and branch
+  outcomes, and the first divergence from the recorded path is the
+  trace-ending mispredict.
+
+Trace boundaries (a fetch-detected mispredict or the trace-length cap)
+drain the machine, seal the trace into the EC, perform the RT checkpoint
+(FRT after a mispredict, the one-cycle SRT swap after a natural end) and
+either start a replay (EC hit) or restart the front-end (miss).
+
+Modelled simplifications, documented in DESIGN.md: wrong paths during
+creation are fetch stalls (as in the baseline); in replay, recorded
+instructions past the diverging branch issue for timing/power but carry no
+architectural state; the front-end drains fully at trace boundaries.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.clocks.domain import ClockDomain
+from repro.clocks.scheduler import TickScheduler
+from repro.clocks.synchronizer import SyncFifo
+from repro.core.config import ClockPlan, CoreConfig, FlywheelConfig
+from repro.core.stats import SimStats
+from repro.ec.builder import TraceBuilder
+from repro.ec.cache import ExecutionCache
+from repro.ec.fill_buffer import FillBuffer
+from repro.ec.trace import Trace, TraceInstr
+from repro.errors import SimulationError
+from repro.execute.fu import FuPool
+from repro.execute.lsq import LoadStoreQueue
+from repro.frontend.bpred import BranchPredictor
+from repro.isa import DynInstr, OpClass
+from repro.isa.opclasses import EXEC_LATENCY, FU_KIND, UNPIPELINED
+from repro.issue.dual_clock import DualClockIssueWindow
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.rename.pools import PoolFile
+from repro.rename.redistribution import RedistributionController
+from repro.rename.two_phase import TwoPhaseRenamer
+from repro.rob.reorder_buffer import ReorderBuffer, RobEntry
+from repro.workloads.stream import InstructionStream
+
+_DEADLOCK_WINDOW = 40_000
+
+
+class Mode(enum.Enum):
+    CREATE = "create"
+    EXECUTE = "execute"
+
+
+class _Boundary(enum.Enum):
+    NONE = 0
+    MISPREDICT = 1
+    NATURAL = 2
+
+
+class _Replay:
+    """State of one trace replay."""
+
+    __slots__ = ("trace", "records", "paired", "valid_count", "div_pos",
+                 "unit_idx", "alloc_ptr", "entries", "branch_resolved",
+                 "valid_issued", "next_pc", "decision", "next_trace")
+
+    def __init__(self, trace: Trace, records: List[TraceInstr],
+                 paired: List[DynInstr], div_pos: int):
+        self.trace = trace
+        self.records = records
+        self.paired = paired                 # program-order dynamic instrs
+        self.valid_count = len(paired)
+        self.div_pos = div_pos               # -1 = no divergence
+        self.unit_idx = 0
+        self.alloc_ptr = 0
+        self.entries: Dict[int, RobEntry] = {}   # trace pos -> ROB entry
+        self.branch_resolved = False
+        self.valid_issued = 0
+        self.next_pc = (paired[div_pos].next_pc if div_pos >= 0
+                        else paired[-1].next_pc)
+        self.decision: Optional[str] = None   # abort-path EC decision
+        self.next_trace: Optional[Trace] = None
+
+    @property
+    def all_units_issued(self) -> bool:
+        return self.unit_idx >= len(self.trace.units)
+
+    @property
+    def diverged(self) -> bool:
+        return self.div_pos >= 0
+
+    @property
+    def all_valid_issued(self) -> bool:
+        return self.valid_issued >= self.valid_count
+
+
+class FlywheelCore:
+    """Cycle-level model of the proposed microarchitecture."""
+
+    def __init__(self, config: CoreConfig, fly: FlywheelConfig,
+                 clock: ClockPlan, stream: InstructionStream,
+                 hierarchy: Optional[MemoryHierarchy] = None):
+        self.config = config
+        self.fly = fly
+        self.clock = clock
+        self.stream = stream
+        self.stats = SimStats()
+
+        self.hierarchy = hierarchy or MemoryHierarchy(config.memory)
+        self.bpred = BranchPredictor(config.bpred)
+        self.pools = PoolFile(fly.pool_regs, fly.default_pool_size,
+                              fly.min_pool_size, fly.max_pool_size)
+        self.renamer = TwoPhaseRenamer(self.pools)
+        self.redist = RedistributionController(
+            self.pools, fly.redistribution_interval,
+            fly.redistribution_penalty)
+        self.iw = DualClockIssueWindow(
+            config.iw_entries, config.issue_width,
+            config.wakeup_extra_delay, tag_window=fly.tag_window,
+            delay_network=fly.delay_network)
+        self.rob = ReorderBuffer(config.rob_entries)
+        self.lsq = LoadStoreQueue(config.lsq_entries)
+        self.fu = FuPool(config.int_alus, config.int_muldivs,
+                         config.mem_ports, config.fp_adders,
+                         config.fp_muldivs)
+        self.ec = ExecutionCache(fly)
+        self.builder = TraceBuilder(fly.ec_block_slots, fly.max_trace_units)
+        self.fill = FillBuffer(fly.ec_block_slots, fly.ec_latency)
+
+        # Clock domains: FE at its own speed; BE starts at the slow clock.
+        self.fe_dom = ClockDomain("fe", clock.fe_mhz)
+        self.be_dom = ClockDomain("be", clock.be_mhz)
+        self.sched = TickScheduler([self.be_dom, self.fe_dom])
+
+        # Scoreboard over the pooled physical register file.
+        self._ready = bytearray([1] * fly.pool_regs)
+
+        # FE-side latches (stamped in FE cycles) and the dual-clock FIFOs.
+        self._fetch_out: Deque[Tuple[int, DynInstr]] = deque()
+        self._decode_out: Deque[Tuple[int, DynInstr]] = deque()
+        self._rename_out: Deque[Tuple[int, DynInstr]] = deque()
+        self._dispatch_fifo: SyncFifo[DynInstr] = SyncFifo("dispatch", 16)
+        #: fetch-restart messages, tagged with the block epoch they belong
+        #: to: a redirect issued before a newer fetch stop must not unblock
+        self._redirect_fifo: SyncFifo[int] = SyncFifo("redirect")
+        self._block_epoch = 0
+
+        # BE event queues keyed by BE cycle index.
+        self._wake_events: Dict[int, List[int]] = {}
+        self._done_events: Dict[int, List[RobEntry]] = {}
+        self._unissued: Dict[int, RobEntry] = {}    # seq -> entry (CREATE)
+
+        # Oracle plumbing: pushed-back instructions are consumed first.
+        self._oracle_buffer: Deque[DynInstr] = deque()
+
+        # Mode / boundary state machine.
+        self.mode = Mode.CREATE
+        self._fe_gated = False
+        self._fetch_blocked = False
+        self._fe_new_trace = True       # next fetched instr starts a trace
+        self._fe_trace_count = 0        # instrs fetched into current trace
+        self._trace_pos_counter = 0     # program-order position at rename
+        self._boundary = _Boundary.NONE
+        self._boundary_branch_seq = -1
+        self._boundary_resolved = False
+        self._boundary_next_pc = 0
+        self._builder_open = False
+        self._cur_tid = -1              # storage id of trace being built
+        #: a trace whose instructions have all passed Update but not yet
+        #: all issued: (builder, tid, gen, skip_pc) — sealed in background
+        #: while the next trace already flows (natural-boundary overlap)
+        self._sealing = None
+        self._outstanding: Dict[int, int] = {}   # gen -> accepted, unissued
+        self._trace_run = 0             # monotonic per-trace-run counter
+        #: checkpoint owed before the first Register Update of a given
+        #: trace generation: gen -> 'frt' | 'srt'
+        self._pending_checkpoint: Dict[int, str] = {}
+        self._replay: Optional[_Replay] = None
+        self._be_stall_until = 0        # checkpoint / redistribution stalls
+        self._pending_redist: Optional[List[int]] = None
+        self._applying_redist = False   # draining to install new pools
+        self._boundary_decision: Optional[str] = None   # None/'hit'/'miss'
+        self._boundary_hit: Optional[Trace] = None
+        self._fe_gen = 0                # trace generation at fetch
+        self._boundary_gen = 0          # generation the boundary seals
+        #: boundary detected while another is still sealing, promoted when
+        #: the open one closes: (kind, next_pc, branch_seq, gen)
+        self._deferred_boundary: Optional[Tuple[_Boundary, int, int, int]] = None
+        self._pre_update: Dict[int, int] = {}   # gen -> not yet past Update
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, max_instructions: int, warmup: int = 0) -> SimStats:
+        """Simulate until ``max_instructions`` commit after warmup."""
+        if warmup:
+            self._functional_warmup(warmup)
+        last_commit_be = 0
+        now_ps = 0
+        while self.stats.committed < max_instructions:
+            before = self.stats.committed
+            now_ps, dom = self.sched.next_event()
+            if dom is self.be_dom:
+                self._be_tick(now_ps)
+            else:
+                self._fe_tick(now_ps)
+            if self.stats.committed != before:
+                last_commit_be = self.be_dom.cycles
+            elif self.be_dom.cycles - last_commit_be > _DEADLOCK_WINDOW:
+                raise SimulationError(
+                    f"no commit for {_DEADLOCK_WINDOW} BE cycles "
+                    f"(mode={self.mode}, boundary={self._boundary}, "
+                    f"rob={len(self.rob)}, iw={len(self.iw)}, "
+                    f"fifo={len(self._dispatch_fifo)})"
+                )
+        self.stats.sim_time_ps = now_ps
+        return self.stats
+
+    def _functional_warmup(self, count: int) -> None:
+        fe_scale = self.clock.mem_scale(self.clock.fe_mhz)
+        for _ in range(count):
+            dyn = self.stream.next_instr()
+            if dyn.seq % 4 == 0:
+                self.hierarchy.ifetch(dyn.pc, fe_scale)
+            if dyn.mem_addr is not None:
+                if dyn.op is OpClass.LOAD:
+                    self.hierarchy.load(dyn.mem_addr)
+                else:
+                    self.hierarchy.store(dyn.mem_addr)
+            if dyn.is_branch:
+                self.bpred.predict(dyn)
+
+    def _next_oracle(self) -> DynInstr:
+        if self._oracle_buffer:
+            return self._oracle_buffer.popleft()
+        return self.stream.next_instr()
+
+    # ------------------------------------------------------------ FE domain
+
+    def _fe_tick(self, now_ps: int) -> None:
+        if self._fe_gated:
+            self.fe_dom.gated_cycles += 1
+            self.stats.fe_cycles_gated += 1
+            return
+        self.stats.fe_cycles_active += 1
+        fe_c = self.fe_dom.cycles
+        for epoch in self._redirect_fifo.pop_ready(now_ps):
+            if epoch == self._block_epoch:
+                self._fetch_blocked = False
+        self._fe_dispatch(fe_c, now_ps)
+        self._fe_rename(fe_c)
+        self._fe_decode(fe_c)
+        self._fe_fetch(fe_c)
+
+    def _fe_dispatch(self, fe_c: int, now_ps: int) -> None:
+        latency_ps = self.fly.sync_cycles * self.be_dom.period_ps
+        n = 0
+        while self._rename_out and n < self.config.dispatch_width:
+            ready_cycle, dyn = self._rename_out[0]
+            if ready_cycle > fe_c or self._dispatch_fifo.full:
+                break
+            self._rename_out.popleft()
+            self._dispatch_fifo.push(dyn, now_ps, latency_ps)
+            self.stats.count("sync_fifo_push")
+            n += 1
+
+    def _fe_rename(self, fe_c: int) -> None:
+        if self._applying_redist:
+            return   # hold renaming while pools are being resized
+        n = 0
+        while self._decode_out and n < self.config.rename_width:
+            ready_cycle, dyn = self._decode_out[0]
+            if ready_cycle > fe_c:
+                break
+            if dyn.trace_start:
+                # Phase-1 state restarts with the trace (Section 3.5).
+                self.renamer.reset_lids()
+                self._trace_pos_counter = 0
+                dyn.trace_start = True
+            if not self.renamer.can_rename_dest(dyn):
+                self.stats.rename_pool_stalls += 1
+                break
+            self._decode_out.popleft()
+            self.renamer.rename(dyn)
+            dyn.trace_pos = self._trace_pos_counter
+            self._trace_pos_counter += 1
+            self._rename_out.append((fe_c + 1, dyn))
+            self.stats.count("rename_op")
+            n += 1
+
+    def _fe_decode(self, fe_c: int) -> None:
+        n = 0
+        while self._fetch_out and n < self.config.decode_width:
+            ready_cycle, dyn = self._fetch_out[0]
+            if ready_cycle > fe_c:
+                break
+            self._fetch_out.popleft()
+            self._decode_out.append((fe_c + 1, dyn))
+            self.stats.count("decode_op")
+            n += 1
+
+    def _fe_fetch(self, fe_c: int) -> None:
+        if self._fetch_blocked or self._applying_redist:
+            return
+        if len(self._fetch_out) >= 4 * self.config.fetch_width:
+            return
+        fe_scale = self.clock.mem_scale(self.clock.fe_mhz)
+        delay = 0
+        for i in range(self.config.fetch_width):
+            dyn = self._next_oracle()
+            if i == 0:
+                delay = (self.hierarchy.ifetch(dyn.pc, fe_scale)
+                         + self.config.extra_frontend_stages)
+                self.stats.count("icache_access")
+            if self._fe_new_trace:
+                dyn.trace_start = True
+                self._fe_new_trace = False
+                self._fe_trace_count = 0
+                self._fe_gen += 1
+            dyn.trace_gen = self._fe_gen
+            self._pre_update[self._fe_gen] = \
+                self._pre_update.get(self._fe_gen, 0) + 1
+            self._fetch_out.append((fe_c + delay, dyn))
+            self.stats.fetched += 1
+            self._fe_trace_count += 1
+            if dyn.is_branch:
+                self.stats.branches += 1
+                self.stats.count("bpred_lookup")
+                if not self.bpred.predict(dyn):
+                    self.stats.mispredicts += 1
+                    self._begin_boundary(_Boundary.MISPREDICT, dyn)
+                    return
+                if self._check_natural_end(dyn):
+                    return
+                break  # fetch group ends at a control transfer
+            if self._check_natural_end(dyn):
+                return
+
+    def _check_natural_end(self, dyn: DynInstr) -> bool:
+        """End the trace at its length cap — aligned to a stable PC.
+
+        Ending exactly at the cap would start the next trace at an
+        arbitrary, phase-shifting mid-loop address that never recurs, so
+        every lookup would miss. Instead, once the cap is reached the
+        trace is extended to the next taken backward branch (a loop
+        back-edge): the successor trace then starts at the loop head, a
+        recurring address. A hard cap bounds the extension.
+        """
+        if not self.fly.ec_enabled:
+            return False
+        count = self._fe_trace_count
+        cap = self.fly.max_trace_instrs
+        if count < cap:
+            return False
+        at_backedge = (dyn.is_branch and dyn.taken
+                       and dyn.target_pc <= dyn.pc)
+        if at_backedge or count >= 2 * cap:
+            self._begin_boundary(_Boundary.NATURAL, dyn)
+            return True
+        return False
+
+    def _begin_boundary(self, kind: _Boundary, last_dyn: DynInstr) -> None:
+        """Stop fetch; the BE seals the trace once it drains.
+
+        If the previous trace's boundary is still sealing, the new one is
+        parked and promoted when the old one closes (at most one can be
+        pending because fetch stops immediately).
+        """
+        self._fetch_blocked = True
+        self._block_epoch += 1
+        self._fe_new_trace = True
+        branch_seq = last_dyn.seq if kind is _Boundary.MISPREDICT else -1
+        if self._boundary is not _Boundary.NONE:
+            self._deferred_boundary = (kind, last_dyn.next_pc, branch_seq,
+                                       self._fe_gen)
+            return
+        self._install_boundary(kind, last_dyn.next_pc, branch_seq,
+                               self._fe_gen)
+
+    def _install_boundary(self, kind: _Boundary, next_pc: int,
+                          branch_seq: int, gen: int) -> None:
+        self._boundary = kind
+        self._boundary_gen = gen
+        self._boundary_next_pc = next_pc
+        self._boundary_branch_seq = branch_seq
+        self._boundary_resolved = kind is _Boundary.NATURAL
+
+    # ------------------------------------------------------------ BE domain
+
+    def _be_tick(self, now_ps: int) -> None:
+        c = self.be_dom.cycles
+        if self.mode is Mode.CREATE:
+            self.stats.be_cycles_create += 1
+        else:
+            self.stats.be_cycles_execute += 1
+        self.fu.begin_cycle(c)
+        self._be_writeback(c)
+        self._be_retire(c)
+        if c < self._be_stall_until:
+            self.stats.checkpoint_stall_cycles += 1
+            return
+        if self._applying_redist:
+            # Let in-flight work drain (new renames are held in the FE),
+            # then install the new pool geometry (Section 3.5).
+            if (not len(self.rob) and not any(self.pools.inflight)
+                    and self._boundary is _Boundary.NONE
+                    and self._deferred_boundary is None):
+                self._apply_redistribution(c, now_ps)
+                return
+        if self.mode is Mode.CREATE:
+            self._be_create(c, now_ps)
+        else:
+            self._be_execute(c, now_ps)
+
+    def _be_writeback(self, c: int) -> None:
+        wakes = self._wake_events.pop(c, None)
+        if wakes:
+            for tag in wakes:
+                self._ready[tag] = 1
+                self.iw.broadcast(tag, c)
+            self.stats.count("iw_broadcast", len(wakes))
+            self.stats.count("rf_write", len(wakes))
+        dones = self._done_events.pop(c, None)
+        if dones:
+            for entry in dones:
+                entry.done = True
+                if entry.mispredicted:
+                    self._on_branch_resolved(entry)
+
+    def _on_branch_resolved(self, entry: RobEntry) -> None:
+        if self.mode is Mode.CREATE:
+            if entry.dyn.seq == self._boundary_branch_seq:
+                self._boundary_resolved = True
+        elif self._replay is not None:
+            self._replay.branch_resolved = True
+
+    def _be_retire(self, c: int) -> None:
+        retired = self.rob.retire_ready(self.config.commit_width)
+        if not retired:
+            return
+        be_scale = self._be_mem_scale()
+        for entry in retired:
+            dyn = entry.dyn
+            if dyn.op is OpClass.STORE and dyn.mem_addr is not None:
+                self.hierarchy.store(dyn.mem_addr, be_scale)
+                self.stats.count("dcache_access")
+            if entry.is_mem:
+                self.lsq.release()
+            self.renamer.retire(dyn)
+            self.stats.committed += 1
+            if entry.from_ec:
+                self.stats.instrs_from_ec += 1
+        self.stats.count("rob_read", len(retired))
+
+    def _be_mem_scale(self) -> float:
+        if self.mode is Mode.EXECUTE:
+            return self.clock.mem_scale(self.clock.be_fast_mhz)
+        return self.clock.mem_scale(self.clock.be_mhz)
+
+    # ----------------------------------------------------- CREATE mode (BE)
+
+    def _be_create(self, c: int, now_ps: int) -> None:
+        self._create_issue(c)
+        self._create_accept(c, now_ps)
+        if self._boundary is not _Boundary.NONE:
+            self._try_finish_boundary(c, now_ps)
+
+    def _create_issue(self, c: int) -> None:
+        selected = self.iw.select(c, self.fu)
+        if not selected:
+            return
+        group = []
+        sealing_group = []
+        sealing_gen = self._sealing[2] if self._sealing else -1
+        for dyn in selected:
+            self._start_execution(dyn, c)
+            left = self._outstanding.get(dyn.trace_gen, 1) - 1
+            if left:
+                self._outstanding[dyn.trace_gen] = left
+            else:
+                self._outstanding.pop(dyn.trace_gen, None)
+            if dyn.trace_gen == sealing_gen:
+                sealing_group.append((dyn.trace_pos, dyn))
+            else:
+                group.append((dyn.trace_pos, dyn))
+        if sealing_group:
+            self._sealing[0].record_unit(sealing_group)
+        if self._builder_open and group:
+            self.builder.record_unit(group)
+        self._finish_sealing()
+        self.stats.issued += len(selected)
+        self.stats.count("iw_select", len(selected))
+        self.stats.count("rf_read", sum(len(d.src_tags) for d in selected))
+        self.stats.count("fu_op", len(selected))
+
+    def _start_execution(self, dyn: DynInstr, c: int) -> None:
+        lat = EXEC_LATENCY[dyn.op]
+        if dyn.op is OpClass.LOAD:
+            lat += self.hierarchy.load(dyn.mem_addr, self._be_mem_scale())
+            self.stats.count("dcache_access")
+        wake = c + lat
+        done = wake + self.config.regread_stages
+        if dyn.dest_tag >= 0:
+            self._wake_events.setdefault(wake, []).append(dyn.dest_tag)
+        entry = self._unissued.pop(dyn.seq)
+        self._done_events.setdefault(done, []).append(entry)
+
+    def _create_accept(self, c: int, now_ps: int) -> None:
+        """Register Update stage: pull matured dispatches into the window."""
+        n = 0
+        while n < self.config.dispatch_width:
+            dyn = self._dispatch_fifo.peek_ready(now_ps)
+            if dyn is None:
+                break
+            if self.rob.full or self.iw.free_slots == 0:
+                break
+            if dyn.mem_addr is not None and self.lsq.full:
+                break
+            if dyn.trace_start and not self._begin_trace_at_update(dyn, c):
+                self.stats.checkpoint_stall_cycles += 1
+                break
+            self._dispatch_fifo.pop_ready(now_ps, limit=1)
+            self.stats.count("sync_fifo_pop")
+            remaining = self._pre_update.get(dyn.trace_gen, 0) - 1
+            if remaining > 0:
+                self._pre_update[dyn.trace_gen] = remaining
+            else:
+                self._pre_update.pop(dyn.trace_gen, None)
+            self.renamer.update(dyn, self._trace_run)
+            self.stats.count("update_op")
+            if dyn.dest_tag >= 0:
+                self._ready[dyn.dest_tag] = 0
+            mispredicted = dyn.seq == self._boundary_branch_seq
+            entry = RobEntry(dyn, mispredicted=mispredicted)
+            self.rob.insert(entry)
+            self._unissued[dyn.seq] = entry
+            if dyn.mem_addr is not None:
+                self.lsq.insert()
+                self.stats.count("lsq_write")
+            self.iw.insert_synced(dyn, self._is_ready, earliest=c + 1)
+            self._outstanding[dyn.trace_gen] = \
+                self._outstanding.get(dyn.trace_gen, 0) + 1
+            self.stats.count("iw_write")
+            self.stats.count("rob_write")
+            n += 1
+
+    def _begin_trace_at_update(self, dyn: DynInstr, c: int) -> bool:
+        """Handle the first Register Update of a new trace.
+
+        Performs the checkpoint owed to this generation (FRT: stall until
+        the previous trace retires; SRT: one-cycle swap) and opens the
+        trace builder. Returns False while the Update must still wait.
+        """
+        if self._builder_open:
+            return False    # previous trace is still being recorded
+        due = [g for g in self._pending_checkpoint if g <= dyn.trace_gen]
+        if due:
+            kinds = {self._pending_checkpoint[g] for g in due}
+            if "frt" in kinds:
+                if len(self.rob):
+                    return False
+                self.renamer.checkpoint_from_frt()
+                self.renamer.sync_srt_to_frt()
+                self.stats.count("checkpoint")
+                for g in due:
+                    del self._pending_checkpoint[g]
+            else:
+                # All older Updates have passed (the FIFO is in order), so
+                # the SRT swap can happen now at a one-cycle penalty.
+                self._checkpoint_srt_now(c)
+                for g in due:
+                    del self._pending_checkpoint[g]
+                return False    # consume the swap cycle before accepting
+        self._cur_tid = self.ec.alloc_tid()
+        self._trace_run += 1
+        self.builder.begin(dyn.pc)
+        self._builder_open = True
+        dyn.trace_start = False    # consume the marker
+        return True
+
+    def _finish_sealing(self) -> None:
+        """Store the backgrounded trace once its last instruction issues."""
+        if self._sealing is None:
+            return
+        builder, tid, gen, skip_pc = self._sealing
+        if self._outstanding.get(gen, 0):
+            return
+        self._sealing = None
+        trace = builder.seal(tid)
+        if trace is None:
+            return
+        self.stats.traces_built += 1
+        if self.fly.ec_enabled and trace.start_pc != skip_pc:
+            self.ec.insert(trace)
+            self.stats.count("ec_block_write",
+                             trace.blocks(self.fly.ec_block_slots))
+
+    def _is_ready(self, tag: int) -> bool:
+        return bool(self._ready[tag])
+
+    def _update_drained(self) -> bool:
+        """All instructions of the sealing trace have passed Update.
+
+        New-trace instructions may already be queued behind them (they are
+        held at the Update stage), so the check counts only the boundary
+        generation.
+        """
+        return self._pre_update.get(self._boundary_gen, 0) == 0
+
+    def _issue_drained(self) -> bool:
+        """All sealing-trace instructions issued (trace fully recorded).
+
+        Only old-generation instructions can be in the window: newer ones
+        are blocked at Register Update while a boundary is open.
+        """
+        return self._update_drained() and not len(self.iw)
+
+    def _try_finish_boundary(self, c: int, now_ps: int) -> None:
+        """Advance the trace-boundary state machine.
+
+        Once the boundary is *resolved* (the mispredicted branch executed,
+        or the length cap hit), the EC is searched immediately. On a miss
+        the front-end restarts right away — overlapping its refill with
+        the old trace's drain, as the baseline does — while the trace is
+        sealed in the background. On a hit the machine drains fully, the
+        checkpoint runs, and trace execution begins.
+        """
+        if not self._boundary_resolved:
+            return
+        if self._boundary_decision is None:
+            self._decide_boundary(now_ps)
+        if self._boundary_decision == "miss":
+            if not self._update_drained():
+                return
+            # All sealing-trace instructions have passed Update: hand the
+            # open builder to the background sealer so the next trace's
+            # Updates (and the front-end refill) overlap the issue drain.
+            if self._builder_open and self._sealing is None:
+                self._sealing = (self.builder, self._cur_tid,
+                                 self._boundary_gen, -1)
+                self.builder = TraceBuilder(self.fly.ec_block_slots,
+                                            self.fly.max_trace_units)
+                self._builder_open = False
+            elif self._builder_open:
+                return   # a previous seal is still in flight; wait
+            self._close_boundary()
+            if self._poll_redistribution(c):
+                self._applying_redist = True
+            return
+        # Hit: full drain, checkpoint, then switch to trace execution.
+        if not self._issue_drained():
+            return
+        self._seal_boundary_trace()
+        hit = self._boundary_hit
+        needs_frt = (self._boundary is _Boundary.MISPREDICT
+                     or not self.fly.use_srt)
+        if needs_frt and len(self.rob):
+            return  # wait for full retirement (FRT checkpoint)
+        self._close_boundary()
+        if self._poll_redistribution(c):
+            self._applying_redist = True
+            return
+        if hit is None or not hit.valid:
+            # The trace was evicted while we drained: rebuild instead.
+            self.stats.trace_misses += 1
+            if needs_frt:
+                self._pending_checkpoint[self._fe_gen + 1] = "frt"
+            else:
+                self._checkpoint_srt_now(c)
+            self._resume_frontend(now_ps)
+            return
+        if needs_frt:
+            self.renamer.checkpoint_from_frt()
+            self.renamer.sync_srt_to_frt()
+            self.stats.count("checkpoint")
+        else:
+            self._checkpoint_srt_now(c)
+        self._trace_run += 1
+        self._enter_execute(hit, c, now_ps)
+
+    def _decide_boundary(self, now_ps: int) -> None:
+        """One-time EC lookup at boundary resolution."""
+        kind = self._boundary
+        needs_frt = kind is _Boundary.MISPREDICT or not self.fly.use_srt
+        hit = None
+        if self.fly.ec_enabled:
+            hit = self.ec.lookup(self._boundary_next_pc)
+            self.stats.count("ec_ta_lookup")
+        if hit is not None:
+            self._boundary_decision = "hit"
+            self._boundary_hit = hit
+            return
+        if self.fly.ec_enabled:
+            self.stats.trace_misses += 1
+        self._boundary_decision = "miss"
+        follower = self._boundary_gen + 1
+        self._pending_checkpoint[follower] = "frt" if needs_frt else "srt"
+        self._resume_frontend(now_ps)
+
+    def _seal_boundary_trace(self) -> None:
+        if not self._builder_open:
+            return
+        trace = self.builder.seal(self._cur_tid)
+        self._builder_open = False
+        if trace is None:
+            return
+        self.stats.traces_built += 1
+        if not self.fly.ec_enabled:
+            return
+        hit = self._boundary_hit
+        if hit is not None and hit.start_pc == trace.start_pc:
+            # The trace loops back onto its own start and we are about to
+            # replay the established trace at that PC: inserting the fresh
+            # duplicate would invalidate the very trace being launched.
+            return
+        self.ec.insert(trace)
+        self.stats.count("ec_block_write",
+                         trace.blocks(self.fly.ec_block_slots))
+
+    def _close_boundary(self) -> None:
+        self._boundary = _Boundary.NONE
+        self._boundary_branch_seq = -1
+        self._boundary_decision = None
+        self._boundary_hit = None
+        if self._deferred_boundary is not None:
+            self._install_boundary(*self._deferred_boundary)
+            self._deferred_boundary = None
+
+    def _checkpoint_srt_now(self, c: int) -> None:
+        self.renamer.checkpoint_from_srt()
+        self._be_stall_until = max(self._be_stall_until, c + 2)
+        self.stats.srt_switches += 1
+        self.stats.count("srt_swap")
+
+    def _resume_frontend(self, now_ps: int) -> None:
+        latency_ps = self.fly.sync_cycles * self.fe_dom.period_ps
+        self._fetch_blocked = True    # until the redirect matures in FE
+        self._block_epoch += 1
+        self._redirect_fifo.push(self._block_epoch, now_ps, latency_ps)
+        self.stats.count("sync_fifo_push")
+        self._fe_gated = False
+
+    def _poll_redistribution(self, c: int) -> bool:
+        """Evaluate the stall counters; returns True if an apply is owed.
+
+        The apply sequence only starts at quiescent points — no boundary
+        open or parked — because it stops fetch and resets the renaming
+        state, which must not interleave with a trace being sealed.
+        """
+        if not self.fly.redistribution_enabled:
+            return False
+        if self._pending_redist is None and self.redist.due(c):
+            self._pending_redist = self.redist.check(c)
+        return (self._pending_redist is not None
+                and self._boundary is _Boundary.NONE
+                and self._deferred_boundary is None)
+
+    def _apply_redistribution(self, c: int, now_ps: int) -> None:
+        """Install the new pool geometry on a fully drained machine."""
+        if self._builder_open:
+            # The trace under construction mixes pre- and post-reset LID
+            # mappings; abandon it (the EC is invalidated anyway).
+            self.builder.seal(self._cur_tid)
+            self._builder_open = False
+        self._sealing = None   # likewise stale
+        self.pools.apply_sizes(self._pending_redist)
+        self.renamer.reset_after_redistribution()
+        self._ready = bytearray([1] * self.fly.pool_regs)
+        self.ec.invalidate_all()
+        self._be_stall_until = max(self._be_stall_until,
+                                   c + 1 + self.redist.penalty)
+        self.stats.redistributions += 1
+        self.stats.count("ec_invalidate")
+        self._pending_redist = None
+        self._applying_redist = False
+        self._pending_checkpoint.clear()   # renaming state freshly reset
+        # Whatever was planned next (replay or fetch), the EC is now empty:
+        # the only way forward is a front-end restart. The applying trigger
+        # is quiescence-gated, so no boundary state can be disturbed here.
+        self._resume_frontend(now_ps)
+
+    # ---------------------------------------------------- EXECUTE mode (BE)
+
+    def _enter_execute(self, trace: Trace, c: int, now_ps: int) -> None:
+        """Switch to trace-execution: gate the FE, speed up the BE."""
+        replay = self._pair_trace(trace)
+        if replay is None:
+            # Stale trace (oracle cannot be at this path): rebuild instead.
+            self._resume_frontend(now_ps)
+            return
+        self.stats.trace_hits += 1
+        self._replay = replay
+        self.mode = Mode.EXECUTE
+        self._fe_gated = True
+        self.be_dom.set_frequency(self.clock.be_fast_mhz, now_ps)
+        self.fill.start(c + 1, trace.slots)
+        self.stats.count("mode_switch")
+
+    def _leave_execute(self, c: int, now_ps: int, next_pc: int) -> None:
+        """Trace ended: chain to the next trace or restart the front-end."""
+        self._replay = None
+        self.fill.stop()
+        if self._poll_redistribution(c):
+            # The EC is about to be invalidated: stop replaying, drain,
+            # apply the new geometry, and rebuild traces from scratch.
+            # Fetch restarts through the redirect FIFO; the applying flag
+            # holds it until the new geometry is installed.
+            self._applying_redist = True
+            self.mode = Mode.CREATE
+            self.be_dom.set_frequency(self.clock.be_mhz, now_ps)
+            self.stats.count("mode_switch")
+            self._resume_frontend(now_ps)
+            return
+        hit = self.ec.lookup(next_pc)
+        self.stats.count("ec_ta_lookup")
+        if hit is not None:
+            replay = self._pair_trace(hit)
+            if replay is not None:
+                self.stats.trace_hits += 1
+                self._trace_run += 1
+                self._replay = replay
+                self.fill.start(c + 1, hit.slots)
+                return
+        self.stats.trace_misses += 1
+        self.mode = Mode.CREATE
+        self._fe_gated = False
+        self.be_dom.set_frequency(self.clock.be_mhz, now_ps)
+        self._resume_frontend(now_ps)
+        self.stats.count("mode_switch")
+
+    def _pair_trace(self, trace: Trace) -> Optional[_Replay]:
+        """Pair a trace's records with fresh dynamic instances.
+
+        Consumes the oracle up to (and including) the diverging branch;
+        wrong-path records consume nothing.
+        """
+        records = trace.program_order()
+        paired: List[DynInstr] = []
+        div_pos = -1
+        for i, rec in enumerate(records):
+            if rec.pos != i:
+                raise SimulationError("trace positions are not contiguous")
+            dyn = self._next_oracle()
+            if dyn.sid != rec.sid:
+                # The previous record must have been a control transfer
+                # that went elsewhere (e.g. a return to another call site).
+                self._oracle_buffer.appendleft(dyn)
+                if i == 0:
+                    return None
+                if not records[i - 1].is_branch:
+                    raise SimulationError(
+                        "trace path diverged in straight-line code")
+                div_pos = i - 1
+                self.stats.mispredicts += 1
+                break
+            dyn.dest_lid = rec.dest_lid
+            dyn.src_lids = rec.src_lids
+            dyn.trace_pos = rec.pos
+            paired.append(dyn)
+            if rec.is_branch:
+                self.stats.branches += 1
+                if dyn.taken != rec.taken:
+                    div_pos = i
+                    self.stats.mispredicts += 1
+                    break
+        return _Replay(trace, records, paired, div_pos)
+
+    def _be_execute(self, c: int, now_ps: int) -> None:
+        replay = self._replay
+        if replay is None:
+            raise SimulationError("EXECUTE mode without a replay")
+        self.fill.tick(c)
+        self._replay_alloc(replay, c)
+        self._replay_issue(replay, c)
+        self._replay_check_end(replay, c, now_ps)
+
+    def _replay_alloc(self, replay: _Replay, c: int) -> None:
+        """Program-order Register Update + ROB/LSQ/pool allocation."""
+        n = 0
+        while (replay.alloc_ptr < replay.valid_count
+               and n < self.config.issue_width):
+            dyn = replay.paired[replay.alloc_ptr]
+            if self.rob.full:
+                break
+            if dyn.mem_addr is not None and self.lsq.full:
+                break
+            if dyn.dest is not None and dyn.dest != 0 \
+                    and not self.pools.can_allocate(dyn.dest):
+                self.pools.note_stall(dyn.dest)
+                self.stats.rename_pool_stalls += 1
+                break
+            self.renamer.update(dyn, self._trace_run)
+            self.stats.count("update_op")
+            if dyn.dest_lid >= 0:
+                self.pools.allocate(dyn.dest)
+                # NOTE: the ready bit is cleared at *issue* (not here).
+                # Units issue in order, so clearing at allocation would let
+                # a later writer that reuses the same pool slot mark the
+                # slot busy before an older consumer in an earlier unit has
+                # issued — a circular wait. Unit members are pairwise
+                # independent, so issue-time clearing is race-free.
+            mispredicted = replay.alloc_ptr == replay.div_pos
+            entry = RobEntry(dyn, mispredicted=mispredicted, from_ec=True,
+                             trace_id=replay.trace.tid)
+            self.rob.insert(entry)
+            replay.entries[dyn.trace_pos] = entry
+            if dyn.mem_addr is not None:
+                self.lsq.insert()
+                self.stats.count("lsq_write")
+            self.stats.count("rob_write")
+            replay.alloc_ptr += 1
+            n += 1
+
+    def _replay_issue(self, replay: _Replay, c: int) -> None:
+        """Issue at most one recorded Issue Unit per fast cycle."""
+        if replay.all_units_issued:
+            return
+        if (replay.diverged and replay.branch_resolved
+                and replay.all_valid_issued):
+            return  # redirect has happened; wrong path stops here
+        unit = replay.trace.units[replay.unit_idx]
+        if not self.fill.can_consume(len(unit)):
+            return
+        valid: List[TraceInstr] = []
+        for rec in unit:
+            if rec.pos < replay.valid_count:
+                valid.append(rec)
+        for rec in valid:
+            if rec.pos >= replay.alloc_ptr:
+                return  # allocation (program order) hasn't caught up
+            if rec.op is OpClass.STORE:
+                continue  # store data drains from the store queue at commit
+            dyn = replay.entries[rec.pos].dyn
+            for tag in dyn.src_tags:
+                if tag >= 0 and not self._ready[tag]:
+                    return
+        demands = [(FU_KIND[rec.op], c, EXEC_LATENCY[rec.op],
+                    rec.op in UNPIPELINED) for rec in unit]
+        if not self.fu.try_issue_group(demands):
+            return
+        self.fill.consume(len(unit))
+        be_scale = self._be_mem_scale()
+        for rec in valid:
+            entry = replay.entries[rec.pos]
+            dyn = entry.dyn
+            lat = EXEC_LATENCY[dyn.op]
+            if dyn.op is OpClass.LOAD:
+                lat += self.hierarchy.load(dyn.mem_addr, be_scale)
+                self.stats.count("dcache_access")
+            wake = c + lat
+            done = wake + self.config.regread_stages
+            if dyn.dest_tag >= 0:
+                self._ready[dyn.dest_tag] = 0
+                self._wake_events.setdefault(wake, []).append(dyn.dest_tag)
+            self._done_events.setdefault(done, []).append(entry)
+        replay.unit_idx += 1
+        replay.valid_issued += len(valid)
+        self.stats.issued += len(valid)
+        self.stats.count("fu_op", len(unit))
+        self.stats.count("rf_read", sum(len(r.srcs) for r in valid))
+
+    def _replay_check_end(self, replay: _Replay, c: int,
+                          now_ps: int) -> None:
+        if replay.diverged:
+            self._replay_abort_step(replay, c, now_ps)
+            return
+        if replay.all_units_issued and replay.alloc_ptr >= replay.valid_count:
+            # Natural end: SRT swap gives a one-cycle switch penalty.
+            if self.fly.use_srt:
+                self._checkpoint_srt_now(c)
+            elif len(self.rob):
+                return
+            else:
+                self.renamer.checkpoint_from_frt()
+                self.renamer.sync_srt_to_frt()
+                self.stats.count("checkpoint")
+            self._leave_execute(c, now_ps, replay.next_pc)
+
+    def _replay_abort_step(self, replay: _Replay, c: int,
+                           now_ps: int) -> None:
+        """Handle a diverging trace: early EC lookup, overlap FE restart.
+
+        As soon as the diverging branch resolves, the EC is searched for
+        the correct-path trace. On a miss the front-end restarts
+        immediately (its refill overlaps the replay's drain, mirroring the
+        baseline's recovery); on a hit the next replay starts right after
+        the FRT checkpoint.
+        """
+        if not replay.branch_resolved:
+            return
+        if replay.decision is None:
+            replay.next_trace = (self.ec.lookup(replay.next_pc)
+                                 if self.fly.ec_enabled else None)
+            self.stats.count("ec_ta_lookup")
+            if replay.next_trace is None:
+                replay.decision = "miss"
+                self.stats.trace_misses += 1
+                self._pending_checkpoint[self._fe_gen + 1] = "frt"
+                self._resume_frontend(now_ps)
+            else:
+                replay.decision = "hit"
+        if not replay.all_valid_issued or len(self.rob):
+            return
+        # Fully drained and retired.
+        self._replay = None
+        self.fill.stop()
+        if replay.decision == "miss":
+            self._to_create_mode(now_ps)
+            if self._poll_redistribution(c):
+                self._applying_redist = True
+            return
+        # Hit path: checkpoint through the FRT now that everything retired.
+        self.renamer.checkpoint_from_frt()
+        self.renamer.sync_srt_to_frt()
+        self.stats.count("checkpoint")
+        if self._poll_redistribution(c):
+            self._applying_redist = True
+            self._to_create_mode(now_ps)
+            self._resume_frontend(now_ps)
+            return
+        nxt = replay.next_trace
+        if nxt is None or not nxt.valid:
+            self.stats.trace_misses += 1
+            self._to_create_mode(now_ps)
+            self._resume_frontend(now_ps)
+            return
+        new_replay = self._pair_trace(nxt)
+        if new_replay is None:
+            self.stats.trace_misses += 1
+            self._to_create_mode(now_ps)
+            self._resume_frontend(now_ps)
+            return
+        self.stats.trace_hits += 1
+        self._trace_run += 1
+        self._replay = new_replay
+        self.fill.start(c + 1, nxt.slots)
+
+    def _to_create_mode(self, now_ps: int) -> None:
+        """Return to trace-creation mode at the slow back-end clock."""
+        self.mode = Mode.CREATE
+        self._fe_gated = False
+        self.be_dom.set_frequency(self.clock.be_mhz, now_ps)
+        self.stats.count("mode_switch")

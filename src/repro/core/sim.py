@@ -1,0 +1,97 @@
+"""High-level simulation entry points.
+
+These wrap workload construction, core instantiation and the run loop into
+one call, returning a :class:`SimResult` with the stats and the structures
+needed by the power model (cache stats, window counters, clock cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.baseline import BaselineCore
+from repro.core.config import ClockPlan, CoreConfig, FlywheelConfig
+from repro.core.stats import SimStats
+from repro.workloads import (
+    InstructionStream,
+    Program,
+    WorkloadProfile,
+    generate_program,
+    get_profile,
+)
+
+#: Default instruction budgets; small enough for a pure-Python simulator,
+#: large enough for normalized ratios to stabilise on these workloads.
+DEFAULT_WARMUP = 60_000
+DEFAULT_INSTRUCTIONS = 60_000
+
+
+@dataclass
+class SimResult:
+    """Everything a report or power model needs from one run."""
+
+    name: str
+    stats: SimStats
+    core: object          # BaselineCore or FlywheelCore (for structures)
+    clock: ClockPlan
+
+    @property
+    def time_ps(self) -> int:
+        return self.stats.sim_time_ps
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+def _resolve_workload(workload: Union[str, WorkloadProfile, Program],
+                      seed: Optional[int]) -> Program:
+    if isinstance(workload, Program):
+        return workload
+    if isinstance(workload, str):
+        workload = get_profile(workload)
+    return generate_program(workload, seed=seed)
+
+
+def run_baseline(workload: Union[str, WorkloadProfile, Program],
+                 config: Optional[CoreConfig] = None,
+                 clock: Optional[ClockPlan] = None,
+                 max_instructions: int = DEFAULT_INSTRUCTIONS,
+                 warmup: int = DEFAULT_WARMUP,
+                 seed: Optional[int] = None,
+                 mem_scale: float = 1.0) -> SimResult:
+    """Run the fully synchronous baseline core on a workload.
+
+    ``workload`` may be a benchmark name (``"gcc"``), a profile, or a
+    pre-built program. The single clock is ``clock.base_mhz``.
+    """
+    config = config or CoreConfig()
+    clock = clock or ClockPlan()
+    program = _resolve_workload(workload, seed)
+    stream = InstructionStream(program)
+    core = BaselineCore(config, stream, mem_scale=mem_scale)
+    stats = core.run(max_instructions, warmup=warmup)
+    period_ps = round(1e6 / clock.base_mhz)
+    stats.sim_time_ps = stats.total_be_cycles * period_ps
+    return SimResult(name=program.name, stats=stats, core=core, clock=clock)
+
+
+def run_flywheel(workload: Union[str, WorkloadProfile, Program],
+                 config: Optional[CoreConfig] = None,
+                 fly: Optional[FlywheelConfig] = None,
+                 clock: Optional[ClockPlan] = None,
+                 max_instructions: int = DEFAULT_INSTRUCTIONS,
+                 warmup: int = DEFAULT_WARMUP,
+                 seed: Optional[int] = None) -> SimResult:
+    """Run the Flywheel core on a workload under a clock plan."""
+    from repro.core.flywheel import FlywheelCore  # cycle-import guard
+
+    config = config or CoreConfig(phys_regs=512, regread_stages=2)
+    fly = fly or FlywheelConfig()
+    clock = clock or ClockPlan()
+    program = _resolve_workload(workload, seed)
+    stream = InstructionStream(program)
+    core = FlywheelCore(config, fly, clock, stream)
+    stats = core.run(max_instructions, warmup=warmup)
+    return SimResult(name=program.name, stats=stats, core=core, clock=clock)

@@ -1,0 +1,97 @@
+"""Simulation statistics and power-event counting.
+
+``SimStats`` gathers architectural counters (cycles, commits, mispredicts)
+and a free-form event counter dictionary that the power model converts to
+energy. Keeping events as plain string-keyed counts decouples the cores
+from the power model: a core can be extended with new activity without
+touching the accounting code.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    """Counters for one simulation run."""
+
+    # Architectural progress
+    committed: int = 0
+    fetched: int = 0
+    issued: int = 0
+
+    # Back-end cycles split by operating mode (Flywheel)
+    be_cycles_create: int = 0       # trace-creation (slow clock)
+    be_cycles_execute: int = 0      # trace-execution (fast clock)
+    fe_cycles_active: int = 0
+    fe_cycles_gated: int = 0
+
+    # Control flow
+    branches: int = 0
+    mispredicts: int = 0
+
+    # Flywheel trace machinery
+    traces_built: int = 0
+    trace_hits: int = 0
+    trace_misses: int = 0
+    instrs_from_ec: int = 0
+    checkpoint_stall_cycles: int = 0
+    srt_switches: int = 0
+    redistributions: int = 0
+    rename_pool_stalls: int = 0
+
+    # Wall-clock of the simulated run
+    sim_time_ps: int = 0
+
+    #: Power events: structure-access counts consumed by repro.power.
+    events: Counter = field(default_factory=Counter)
+
+    def count(self, event: str, n: int = 1) -> None:
+        self.events[event] += n
+
+    # ------------------------------------------------------------ metrics
+
+    @property
+    def total_be_cycles(self) -> int:
+        return self.be_cycles_create + self.be_cycles_execute
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per back-end cycle (mode-weighted)."""
+        cycles = self.total_be_cycles
+        return self.committed / cycles if cycles else 0.0
+
+    @property
+    def time_seconds(self) -> float:
+        return self.sim_time_ps / 1e12
+
+    @property
+    def instr_per_second(self) -> float:
+        """Architectural throughput — the paper's performance measure
+        (total execution time for a fixed instruction budget)."""
+        return self.committed / self.time_seconds if self.sim_time_ps else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    @property
+    def ec_residency(self) -> float:
+        """Fraction of back-end time spent on the alternative (EC) path."""
+        cycles = self.total_be_cycles
+        return self.be_cycles_execute / cycles if cycles else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of headline numbers (for reports and tests)."""
+        return {
+            "committed": self.committed,
+            "cycles": self.total_be_cycles,
+            "ipc": self.ipc,
+            "time_ps": self.sim_time_ps,
+            "mispredict_rate": self.mispredict_rate,
+            "ec_residency": self.ec_residency,
+            "traces_built": self.traces_built,
+        }

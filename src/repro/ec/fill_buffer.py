@@ -1,0 +1,74 @@
+"""Replay-side fill buffer (Section 3.3, Fig. 7).
+
+During trace execution one DA block is fetched per access; the circular
+fill buffer holds two blocks so the next access can start immediately,
+hiding most of the EC's three-cycle latency. The model exposes how many
+instruction slots have arrived by a given back-end cycle: the first block
+lands ``latency`` cycles after the trace read starts, subsequent blocks
+stream one per cycle (multi-banked DA), but never run more than one spare
+block ahead of consumption (the two-block buffer bound).
+
+An Issue Unit can leave the buffer only when all its slots have arrived —
+very large units spanning a late second block stall, the corner case the
+paper notes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class FillBuffer:
+    """Streaming window between the DA and the execution core."""
+
+    def __init__(self, block_slots: int, latency: int, depth_blocks: int = 2):
+        self.block_slots = block_slots
+        self.latency = latency
+        self.depth_slots = depth_blocks * block_slots
+        self._start_cycle = 0
+        self._total_slots = 0
+        self._consumed = 0
+        self._arrived = 0
+        self._active = False
+        self.block_reads = 0    # power events
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def start(self, cycle: int, total_slots: int) -> None:
+        """Begin streaming a trace of ``total_slots`` instruction slots."""
+        self._start_cycle = cycle
+        self._total_slots = total_slots
+        self._consumed = 0
+        self._arrived = 0
+        self._active = True
+
+    def tick(self, cycle: int) -> None:
+        """Advance arrivals for this cycle."""
+        if not self._active:
+            return
+        elapsed = cycle - self._start_cycle - self.latency
+        if elapsed < 0:
+            return
+        # One block per cycle since the first arrival, bounded by the
+        # buffer depth ahead of consumption and by the trace size.
+        streamed = (elapsed + 1) * self.block_slots
+        bound = min(self._total_slots, self._consumed + self.depth_slots,
+                    streamed)
+        if bound > self._arrived:
+            new_blocks = (-(-bound // self.block_slots)
+                          - (-(-self._arrived // self.block_slots)))
+            self.block_reads += max(0, new_blocks)
+            self._arrived = bound
+
+    def can_consume(self, n_slots: int) -> bool:
+        return self._arrived - self._consumed >= n_slots
+
+    def consume(self, n_slots: int) -> None:
+        if not self.can_consume(n_slots):
+            raise SimulationError("fill buffer underflow")
+        self._consumed += n_slots
+
+    def stop(self) -> None:
+        self._active = False

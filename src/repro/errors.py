@@ -1,0 +1,23 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type. Sub-types distinguish configuration mistakes
+from internal simulation invariant violations (the latter indicate a bug
+in the simulator, not in user input).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic program or profile is malformed."""
+
+
+class SimulationError(ReproError):
+    """An internal simulation invariant was violated (simulator bug)."""

@@ -1,0 +1,6 @@
+"""Execution core substrates: functional-unit pools and the load/store queue."""
+
+from repro.execute.fu import FuPool
+from repro.execute.lsq import LoadStoreQueue
+
+__all__ = ["FuPool", "LoadStoreQueue"]

@@ -1,0 +1,80 @@
+"""Functional-unit pools (Table 2: 4 int ALU, 2 int mul/div, 2 memory
+ports, 2 FP adders, 1 FP mul/div).
+
+Pipelined units accept one operation per cycle; unpipelined units (the
+dividers) are reserved for their whole latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.isa.opclasses import FuKind
+
+
+class FuPool:
+    """Per-kind availability tracking for one clock domain."""
+
+    def __init__(self, int_alus: int, int_muldivs: int, mem_ports: int,
+                 fp_adders: int, fp_muldivs: int):
+        self._counts: Dict[FuKind, int] = {
+            FuKind.INT_ALU: int_alus,
+            FuKind.INT_MULDIV: int_muldivs,
+            FuKind.MEM_PORT: mem_ports,
+            FuKind.FP_ADD: fp_adders,
+            FuKind.FP_MULDIV: fp_muldivs,
+        }
+        self._used: Dict[FuKind, int] = {k: 0 for k in self._counts}
+        self._reserved: Dict[FuKind, List[int]] = {k: [] for k in self._counts}
+        self._cycle = -1
+        self.ops = 0  # total operations started (power events)
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Reset per-cycle issue slots and expire long reservations."""
+        self._cycle = cycle
+        for kind in self._used:
+            self._used[kind] = 0
+            res = self._reserved[kind]
+            if res:
+                self._reserved[kind] = [t for t in res if t > cycle]
+
+    def available(self, kind: FuKind) -> int:
+        return (self._counts[kind] - self._used[kind]
+                - len(self._reserved[kind]))
+
+    def try_issue(self, kind: FuKind, cycle: int, latency: int,
+                  unpipelined: bool = False) -> bool:
+        """Claim an issue slot on a unit of ``kind``; False if none free."""
+        if self.available(kind) <= 0:
+            return False
+        self._used[kind] += 1
+        if unpipelined:
+            self._reserved[kind].append(cycle + latency)
+        self.ops += 1
+        return True
+
+    def try_issue_group(self, demands) -> bool:
+        """Atomically claim units for a whole issue group (VLIW replay).
+
+        ``demands`` is an iterable of (kind, cycle, latency, unpipelined)
+        tuples; either every member gets a unit or nothing is claimed.
+        """
+        demands = list(demands)
+        need: Dict[FuKind, int] = {}
+        for kind, _cycle, _lat, _unp in demands:
+            need[kind] = need.get(kind, 0) + 1
+        for kind, count in need.items():
+            if self.available(kind) < count:
+                return False
+        for kind, cycle, latency, unpipelined in demands:
+            self._used[kind] += 1
+            if unpipelined:
+                self._reserved[kind].append(cycle + latency)
+            self.ops += 1
+        return True
+
+    def flush(self) -> None:
+        """Release all reservations (pipeline squash)."""
+        for kind in self._reserved:
+            self._reserved[kind].clear()
+            self._used[kind] = 0

@@ -1,0 +1,66 @@
+"""CLI: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.experiments fig12 [--instructions N] [--warmup N]
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import fig01_latency, fig02_loops, fig11_same_clock
+from repro.experiments import fig12_performance, fig13_energy, fig14_power
+from repro.experiments import fig15_technology, residency, table1_freq
+from repro.experiments import ablations, sensitivity
+from repro.experiments.common import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    ExperimentContext,
+)
+
+EXPERIMENTS = {
+    "fig1": fig01_latency,
+    "fig2": fig02_loops,
+    "table1": table1_freq,
+    "fig11": fig11_same_clock,
+    "fig12": fig12_performance,
+    "fig13": fig13_energy,
+    "fig14": fig14_power,
+    "fig15": fig15_technology,
+    "residency": residency,
+    "ablations": ablations,
+    "sensitivity": sensitivity,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--instructions", type=int,
+                        default=DEFAULT_INSTRUCTIONS,
+                        help="measured instructions per run")
+    parser.add_argument("--warmup", type=int, default=DEFAULT_WARMUP,
+                        help="functional warmup instructions per run")
+    args = parser.parse_args(argv)
+
+    ctx = ExperimentContext(instructions=args.instructions,
+                            warmup=args.warmup)
+    if args.experiment == "all":
+        for name in ("fig1", "table1", "fig2", "fig11", "residency",
+                     "fig12", "fig13", "fig14", "fig15", "ablations",
+                     "sensitivity"):
+            EXPERIMENTS[name].main(ctx)
+    else:
+        EXPERIMENTS[args.experiment].main(ctx)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Shared experiment plumbing: cached runs, normalization, table printing."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.config import ClockPlan, CoreConfig, FlywheelConfig
+from repro.core.sim import SimResult, run_baseline, run_flywheel
+from repro.workloads.profiles import SPEC_NAMES
+
+#: Default measurement budgets. The paper fast-forwards 500M instructions
+#: and measures 100M; a pure-Python simulator scales both down ~3000x,
+#: which is enough for the normalized ratios these experiments report.
+DEFAULT_INSTRUCTIONS = 30_000
+DEFAULT_WARMUP = 60_000
+
+
+@dataclass
+class ExperimentContext:
+    """Run cache + budgets shared by all experiments in one invocation."""
+
+    instructions: int = DEFAULT_INSTRUCTIONS
+    warmup: int = DEFAULT_WARMUP
+    benchmarks: Tuple[str, ...] = SPEC_NAMES
+    _cache: Dict[tuple, SimResult] = field(default_factory=dict)
+
+    def baseline(self, bench: str, clock: Optional[ClockPlan] = None,
+                 config: Optional[CoreConfig] = None,
+                 tag: str = "") -> SimResult:
+        clock = clock or ClockPlan()
+        key = ("base", bench, clock, tag)
+        if key not in self._cache:
+            self._cache[key] = run_baseline(
+                bench, config=config, clock=clock,
+                max_instructions=self.instructions, warmup=self.warmup)
+        return self._cache[key]
+
+    def flywheel(self, bench: str, clock: Optional[ClockPlan] = None,
+                 fly: Optional[FlywheelConfig] = None,
+                 tag: str = "") -> SimResult:
+        clock = clock or ClockPlan()
+        key = ("fly", bench, clock, tag)
+        if key not in self._cache:
+            self._cache[key] = run_flywheel(
+                bench, fly=fly, clock=clock,
+                max_instructions=self.instructions, warmup=self.warmup)
+        return self._cache[key]
+
+    def speedup(self, bench: str, clock: ClockPlan,
+                fly: Optional[FlywheelConfig] = None, tag: str = "") -> float:
+        """Baseline time / Flywheel time (>1 means the Flywheel wins)."""
+        base = self.baseline(bench, ClockPlan(base_mhz=clock.base_mhz))
+        flyr = self.flywheel(bench, clock, fly=fly, tag=tag)
+        return base.stats.sim_time_ps / max(1, flyr.stats.sim_time_ps)
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def print_table(title: str, rows: List[dict], columns: List[str],
+                fmt: str = "{:>10}") -> None:
+    """Print rows as a fixed-width table (the figures' data series)."""
+    print(f"\n== {title} ==")
+    header = "".join(fmt.format(c[:10]) for c in columns)
+    print(header)
+    for row in rows:
+        line = ""
+        for c in columns:
+            v = row.get(c, "")
+            if isinstance(v, float):
+                line += fmt.format(f"{v:.3f}")
+            else:
+                line += fmt.format(str(v))
+        print(line)

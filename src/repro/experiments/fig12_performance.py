@@ -1,0 +1,51 @@
+"""Fig. 12 — performance of the Flywheel across clock-speedup pairs.
+
+Sweeps the front-end speedup from 0% to 100% with the trace-execution
+back-end 50% faster (the Table 1 projection), reporting execution time
+normalized to the fully synchronous baseline. The paper's shape: large
+speedups that grow with the front-end clock, super-linear on benchmarks
+where the faster front-end exposes more parallelism to the traces, and
+the biggest front-end sensitivity on vortex (lowest EC residency).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.config import ClockPlan
+from repro.experiments.common import ExperimentContext, geomean, print_table
+
+#: (front-end speedup, back-end speedup) pairs, as in the paper.
+SWEEP = (
+    ("FE0%,BE50%", ClockPlan(fe_speedup=0.0, be_speedup=0.5)),
+    ("FE25%,BE50%", ClockPlan(fe_speedup=0.25, be_speedup=0.5)),
+    ("FE50%,BE50%", ClockPlan(fe_speedup=0.5, be_speedup=0.5)),
+    ("FE75%,BE50%", ClockPlan(fe_speedup=0.75, be_speedup=0.5)),
+    ("FE100%,BE50%", ClockPlan(fe_speedup=1.0, be_speedup=0.5)),
+)
+
+
+def run(ctx: ExperimentContext) -> List[dict]:
+    rows = []
+    for bench in ctx.benchmarks:
+        row = {"benchmark": bench}
+        for label, clock in SWEEP:
+            row[label] = ctx.speedup(bench, clock)
+        rows.append(row)
+    avg = {"benchmark": "geomean"}
+    for label, _clock in SWEEP:
+        avg[label] = geomean(r[label] for r in rows)
+    rows.append(avg)
+    return rows
+
+
+def main(ctx: ExperimentContext = None) -> List[dict]:
+    ctx = ctx or ExperimentContext()
+    rows = run(ctx)
+    print_table("Fig. 12: normalized performance vs clock speedups",
+                rows, ["benchmark"] + [l for l, _ in SWEEP], fmt="{:>14}")
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Front-end substrate: branch prediction (gshare + BTB + RAS)."""
+
+from repro.frontend.bpred import BPredConfig, BPredStats, BranchPredictor, GShare, BTB, ReturnStack
+
+__all__ = ["BPredConfig", "BPredStats", "BranchPredictor", "GShare", "BTB", "ReturnStack"]

@@ -1,0 +1,174 @@
+"""Branch prediction: gshare direction predictor, BTB, return-address stack.
+
+The paper's configuration (Table 2): G-share with 12 bits of history and a
+2048-entry pattern history table of 2-bit saturating counters. The BTB and
+RAS are standard additions needed for a complete fetch model: a BTB miss on
+a taken branch behaves like a misprediction (fetch cannot follow an unknown
+target), and returns are predicted through the RAS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.isa import BranchKind, DynInstr
+
+
+@dataclass(frozen=True)
+class BPredConfig:
+    history_bits: int = 12
+    pht_entries: int = 2048
+    btb_entries: int = 2048
+    btb_ways: int = 4
+    ras_entries: int = 16
+
+    def __post_init__(self) -> None:
+        if self.pht_entries & (self.pht_entries - 1):
+            raise ConfigError("PHT entries must be a power of two")
+        if self.btb_entries % self.btb_ways:
+            raise ConfigError("BTB entries must divide evenly into ways")
+
+
+@dataclass
+class BPredStats:
+    lookups: int = 0
+    cond_lookups: int = 0
+    mispredicts: int = 0
+    dir_mispredicts: int = 0
+    btb_misses: int = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.lookups if self.lookups else 0.0
+
+
+class GShare:
+    """Global-history XOR-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, config: BPredConfig):
+        self._mask = config.pht_entries - 1
+        self._hist_mask = (1 << config.history_bits) - 1
+        self._pht: List[int] = [2] * config.pht_entries  # weakly taken
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ (self._history & self._hist_mask)) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._pht[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Update counter and speculative history for one resolved branch."""
+        idx = self._index(pc)
+        ctr = self._pht[idx]
+        if taken:
+            self._pht[idx] = min(3, ctr + 1)
+        else:
+            self._pht[idx] = max(0, ctr - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._hist_mask
+
+
+class BTB:
+    """Set-associative branch target buffer with LRU replacement."""
+
+    def __init__(self, config: BPredConfig):
+        self._sets = config.btb_entries // config.btb_ways
+        self._ways = config.btb_ways
+        self._table: List[dict] = [dict() for _ in range(self._sets)]
+        self._clock = 0
+
+    def lookup(self, pc: int) -> Optional[int]:
+        self._clock += 1
+        entry = self._table[(pc >> 2) % self._sets]
+        rec = entry.get(pc)
+        if rec is None:
+            return None
+        entry[pc] = (rec[0], self._clock)
+        return rec[0]
+
+    def update(self, pc: int, target: int) -> None:
+        self._clock += 1
+        entry = self._table[(pc >> 2) % self._sets]
+        if pc not in entry and len(entry) >= self._ways:
+            victim = min(entry, key=lambda k: entry[k][1])
+            del entry[victim]
+        entry[pc] = (target, self._clock)
+
+
+class ReturnStack:
+    """Bounded return-address stack; overflow drops the oldest entry."""
+
+    def __init__(self, entries: int):
+        self._entries = entries
+        self._stack: List[int] = []
+
+    def push(self, ret_pc: int) -> None:
+        if len(self._stack) >= self._entries:
+            self._stack.pop(0)
+        self._stack.append(ret_pc)
+
+    def pop(self) -> Optional[int]:
+        return self._stack.pop() if self._stack else None
+
+
+@dataclass
+class BranchPredictor:
+    """Complete fetch-side predictor; one per simulated core."""
+
+    config: BPredConfig = field(default_factory=BPredConfig)
+
+    def __post_init__(self) -> None:
+        self.gshare = GShare(self.config)
+        self.btb = BTB(self.config)
+        self.ras = ReturnStack(self.config.ras_entries)
+        self.stats = BPredStats()
+
+    def predict(self, dyn: DynInstr) -> bool:
+        """Predict one fetched branch; returns True if prediction is correct.
+
+        Because the simulator models wrong paths as stall + flush, only
+        correctness (and the structures' training) matters; the predicted
+        PC itself is never followed.
+        """
+        self.stats.lookups += 1
+        kind = dyn.branch_kind
+
+        if kind == BranchKind.RET:
+            pred_target = self.ras.pop()
+            correct = pred_target == dyn.target_pc
+            if not correct:
+                self.stats.mispredicts += 1
+            return correct
+
+        if kind == BranchKind.CALL:
+            self.ras.push(dyn.fall_pc)
+
+        btb_target = self.btb.lookup(dyn.pc)
+
+        if kind == BranchKind.COND:
+            self.stats.cond_lookups += 1
+            pred_taken = self.gshare.predict(dyn.pc)
+            self.gshare.update(dyn.pc, dyn.taken)
+            if pred_taken != dyn.taken:
+                self.stats.mispredicts += 1
+                self.stats.dir_mispredicts += 1
+                if dyn.taken:
+                    self.btb.update(dyn.pc, dyn.target_pc)
+                return False
+            if dyn.taken and btb_target != dyn.target_pc:
+                # Direction right but target unknown: fetch break.
+                self.stats.mispredicts += 1
+                self.stats.btb_misses += 1
+                self.btb.update(dyn.pc, dyn.target_pc)
+                return False
+            return True
+
+        # Unconditional direct (UNCOND/CALL): correct iff the BTB knows it.
+        if btb_target != dyn.target_pc:
+            self.stats.mispredicts += 1
+            self.stats.btb_misses += 1
+            self.btb.update(dyn.pc, dyn.target_pc)
+            return False
+        return True

@@ -1,0 +1,134 @@
+"""Static and dynamic instruction representations.
+
+A :class:`StaticInstr` lives in a synthetic program's basic block and
+describes *how* to produce dynamic behaviour (which registers, which memory
+region, what kind of branch). A :class:`DynInstr` is one dynamic instance
+produced by the architectural walker: it has a concrete address, branch
+outcome and sequence number, and is what the pipeline models actually move
+around.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.opclasses import OpClass, is_branch, is_memory
+
+
+class BranchKind(enum.IntEnum):
+    """Control-flow behaviour of a block terminator."""
+
+    NONE = 0        # fall through
+    COND = 1        # conditional branch (loop or data-dependent)
+    UNCOND = 2      # unconditional jump
+    CALL = 3        # call (pushes return address)
+    RET = 4         # return (pops return address)
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """Static description of a memory access pattern.
+
+    ``region`` names a memory region declared by the program; the walker
+    turns (region, stride, random) into concrete addresses. Sequential
+    accesses use ``stride`` bytes per dynamic instance; ``random`` accesses
+    draw uniformly from the region, which defeats spatial locality and is
+    how large-working-set benchmarks produce cache misses.
+    """
+
+    region: int
+    stride: int = 8
+    random: bool = False
+
+
+@dataclass(frozen=True)
+class BranchSpec:
+    """Static description of a conditional branch's outcome behaviour.
+
+    Exactly one of the behaviours applies:
+
+    * ``loop_trip > 0`` — deterministic loop back-edge: taken ``loop_trip-1``
+      times, then not taken once (counter resets each time the loop is
+      re-entered).
+    * otherwise — Bernoulli with probability ``taken_prob`` of being taken,
+      drawn from the walker's seeded RNG. ``taken_prob`` near 0 or 1 makes
+      the branch highly predictable; near 0.5 makes it essentially
+      unpredictable by gshare.
+    """
+
+    loop_trip: int = 0
+    taken_prob: float = 0.5
+
+
+@dataclass(frozen=True)
+class StaticInstr:
+    """One instruction slot in a basic block of a synthetic program."""
+
+    sid: int                               # unique static id within program
+    op: OpClass
+    dest: Optional[int] = None             # flat architected register or None
+    srcs: Tuple[int, ...] = ()
+    mem: Optional[MemRef] = None           # for LOAD/STORE
+    branch_kind: BranchKind = BranchKind.NONE
+    branch: Optional[BranchSpec] = None    # for COND terminators
+    taken_target: Optional[int] = None     # block id if taken / jump target
+    fall_target: Optional[int] = None      # block id if not taken
+
+    def __post_init__(self) -> None:
+        if is_memory(self.op) and self.mem is None:
+            raise ValueError(f"memory instruction {self.sid} lacks a MemRef")
+        if self.branch_kind == BranchKind.COND and self.branch is None:
+            raise ValueError(f"conditional branch {self.sid} lacks a BranchSpec")
+        if is_branch(self.op) and self.branch_kind == BranchKind.NONE:
+            raise ValueError(f"branch instruction {self.sid} lacks a branch kind")
+
+
+@dataclass
+class DynInstr:
+    """One dynamic instance of a static instruction.
+
+    Produced in program order by the architectural walker; fields that the
+    pipeline fills in during simulation (rename tags, timestamps) live in
+    the pipeline's own bookkeeping, not here, so a DynInstr can be shared
+    between the oracle stream and the core without aliasing bugs.
+    """
+
+    seq: int                               # program-order sequence number
+    pc: int                                # byte address of the instruction
+    op: OpClass
+    dest: Optional[int]
+    srcs: Tuple[int, ...]
+    sid: int                               # static id (trace path matching)
+    mem_addr: Optional[int] = None
+    branch_kind: BranchKind = BranchKind.NONE
+    taken: bool = False                    # actual outcome
+    target_pc: int = 0                     # actual next PC if taken
+    fall_pc: int = 0                       # next sequential PC
+
+    # Fields annotated by pipelines (kept here to avoid per-core wrappers;
+    # each core owns its DynInstr instances exclusively).
+    dest_tag: int = -1                     # physical destination tag
+    src_tags: Tuple[int, ...] = field(default_factory=tuple)
+    old_dest_tag: int = -1                 # previous mapping (for freeing)
+    dest_lid: int = -1                     # Flywheel logical id of dest
+    src_lids: Tuple[int, ...] = field(default_factory=tuple)
+    trace_start: bool = False              # first instruction of a trace
+    trace_pos: int = -1                    # program-order position in trace
+    trace_gen: int = 0                     # trace generation (drain tracking)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.branch_kind != BranchKind.NONE
+
+    @property
+    def next_pc(self) -> int:
+        """The architecturally correct next PC."""
+        return self.target_pc if self.taken else self.fall_pc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynInstr(seq={self.seq}, pc={self.pc:#x}, op={self.op.name}, "
+            f"dest={self.dest}, srcs={self.srcs})"
+        )

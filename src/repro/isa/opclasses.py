@@ -1,0 +1,86 @@
+"""Operation classes, execution latencies and functional-unit mapping.
+
+Latencies follow the common SimpleScalar/Alpha-like defaults also used by
+the paper's baseline (Table 2): single-cycle integer ALU, pipelined
+multiplier, long non-pipelined divider, two-cycle FP add, and cache-latency
+dominated memory operations.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Functional class of an instruction.
+
+    The class determines execution latency, which functional unit pool
+    executes the instruction, and how the pipeline treats it (memory ops
+    go through the LSQ, branches resolve in Execute).
+    """
+
+    INT_ALU = 0
+    INT_MUL = 1
+    INT_DIV = 2
+    LOAD = 3
+    STORE = 4
+    BRANCH = 5
+    FP_ADD = 6
+    FP_MUL = 7
+    FP_DIV = 8
+    NOP = 9
+
+
+class FuKind(enum.IntEnum):
+    """Functional-unit pool kinds (Table 2 of the paper)."""
+
+    INT_ALU = 0
+    INT_MULDIV = 1
+    MEM_PORT = 2
+    FP_ADD = 3
+    FP_MULDIV = 4
+
+
+#: Execution latency in cycles, *excluding* cache access time for memory
+#: operations (loads add the D-cache/L2/DRAM latency resolved by the
+#: memory hierarchy at issue time).
+EXEC_LATENCY: dict[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.INT_DIV: 12,
+    OpClass.LOAD: 1,  # address generation; cache latency added on top
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.FP_ADD: 2,
+    OpClass.FP_MUL: 4,
+    OpClass.FP_DIV: 12,
+    OpClass.NOP: 1,
+}
+
+#: Which FU pool executes each op class.
+FU_KIND: dict[OpClass, FuKind] = {
+    OpClass.INT_ALU: FuKind.INT_ALU,
+    OpClass.INT_MUL: FuKind.INT_MULDIV,
+    OpClass.INT_DIV: FuKind.INT_MULDIV,
+    OpClass.LOAD: FuKind.MEM_PORT,
+    OpClass.STORE: FuKind.MEM_PORT,
+    OpClass.BRANCH: FuKind.INT_ALU,
+    OpClass.FP_ADD: FuKind.FP_ADD,
+    OpClass.FP_MUL: FuKind.FP_MULDIV,
+    OpClass.FP_DIV: FuKind.FP_MULDIV,
+    OpClass.NOP: FuKind.INT_ALU,
+}
+
+#: Op classes whose execution is not pipelined (a new operation cannot
+#: start on the same unit until the previous one finishes).
+UNPIPELINED: frozenset = frozenset({OpClass.INT_DIV, OpClass.FP_DIV})
+
+
+def is_memory(op: OpClass) -> bool:
+    """Return True for loads and stores."""
+    return op is OpClass.LOAD or op is OpClass.STORE
+
+
+def is_branch(op: OpClass) -> bool:
+    """Return True for control-transfer instructions."""
+    return op is OpClass.BRANCH

@@ -1,0 +1,6 @@
+"""Issue window substrates: unified wakeup/select and the dual-clock variant."""
+
+from repro.issue.window import IssueWindow, IWEntry
+from repro.issue.dual_clock import DualClockIssueWindow
+
+__all__ = ["IssueWindow", "IWEntry", "DualClockIssueWindow"]

@@ -1,0 +1,65 @@
+"""Dual Clock Issue Window (Section 3.2 of the paper).
+
+Instructions are written into free entries synchronously with the producer
+(front-end) clock and become visible to the Wake-Up/Select circuitry after
+a synchronization delay in consumer (back-end) cycles. Because the RAT is
+read in the front-end domain while tag broadcasts happen in the back-end
+domain, a tag can arrive after the RAT read but before the entry is seen by
+Wake-Up — the race of Fig. 4.
+
+Two hardware solutions exist (Section 3.2); both are modelled:
+
+* **Duplicated tag matching** (default): wake-up also matches tags
+  broadcast in the previous ``tag_window`` back-end cycles, preserving
+  back-to-back scheduling at the cost of extra match lines (the power
+  model charges ``1 + tag_window`` match energy per broadcast).
+* **Delay network** (``delay_network=True``): entries only become
+  selectable one extra back-end cycle after insertion, losing exactly the
+  back-to-back capability the paper set out to preserve.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Tuple
+
+from repro.isa import DynInstr
+from repro.issue.window import IssueWindow, IWEntry
+
+
+class DualClockIssueWindow(IssueWindow):
+    """Issue window bridging the front-end and back-end clock domains."""
+
+    def __init__(self, entries: int, issue_width: int,
+                 wakeup_extra_delay: int = 0, tag_window: int = 2,
+                 delay_network: bool = False):
+        super().__init__(entries, issue_width, wakeup_extra_delay)
+        self.tag_window = tag_window
+        self.delay_network = delay_network
+        #: broadcasts kept for the duplicated match, as (be_cycle, tag)
+        self._recent: Deque[Tuple[int, int]] = deque()
+        #: count of dependences that the duplicated window saved from the
+        #: race (they became ready between RAT read and insertion)
+        self.caught_by_dup_match = 0
+
+    def broadcast(self, tag: int, cycle: int) -> None:
+        super().broadcast(tag, cycle)
+        self._recent.append((cycle, tag))
+        horizon = cycle - self.tag_window
+        while self._recent and self._recent[0][0] < horizon:
+            self._recent.popleft()
+
+    def insert_synced(self, dyn: DynInstr, ready: Callable[[int], bool],
+                      earliest: int, raced_tags: int = 0) -> IWEntry:
+        """Insert an instruction arriving through the sync FIFO.
+
+        ``raced_tags`` is the number of this instruction's source tags that
+        became ready between its RAT read (front-end time) and now; with
+        duplicated tag matching they are caught (no penalty), with the
+        delay network every insertion pays one extra cycle instead.
+        """
+        if self.delay_network:
+            earliest += 1
+        else:
+            self.caught_by_dup_match += raced_tags
+        return self.insert(dyn, ready, earliest)

@@ -1,0 +1,131 @@
+"""Monolithic issue window with single-cycle Wake-Up/Select.
+
+The window holds dispatched instructions until their source operands are
+ready and a functional unit is available. Wake-up is modelled with a
+waiters index (tag -> entries), equivalent in outcome to the CAM broadcast
+of a real window; selection is oldest-first up to the issue width, subject
+to functional-unit availability.
+
+``wakeup_extra_delay`` models the paper's Fig. 2 experiment: pipelining the
+Wake-Up/Select loop adds one cycle between a producer's tag broadcast and
+the earliest cycle a dependent can be selected, destroying back-to-back
+scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.isa import DynInstr
+from repro.isa.opclasses import EXEC_LATENCY, FU_KIND, UNPIPELINED, OpClass
+
+
+class IWEntry:
+    """One issue-window slot."""
+
+    __slots__ = ("dyn", "not_ready", "earliest", "alive")
+
+    def __init__(self, dyn: DynInstr, not_ready: int, earliest: int):
+        self.dyn = dyn
+        self.not_ready = not_ready
+        self.earliest = earliest
+        self.alive = True
+
+
+class IssueWindow:
+    """Unified window shared by integer, FP and memory instructions."""
+
+    def __init__(self, entries: int, issue_width: int,
+                 wakeup_extra_delay: int = 0):
+        self.capacity = entries
+        self.issue_width = issue_width
+        self.wakeup_extra_delay = wakeup_extra_delay
+        self._entries: List[IWEntry] = []
+        self._waiters: Dict[int, List[IWEntry]] = {}
+        self._count = 0
+        self.broadcasts = 0       # tag broadcasts (power events)
+        self.writes = 0           # window writes (dispatches)
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - self._count
+
+    def insert(self, dyn: DynInstr, ready: Callable[[int], bool],
+               earliest: int) -> IWEntry:
+        """Dispatch one instruction into the window.
+
+        ``ready(tag)`` consults the core's scoreboard at insertion time;
+        unready sources register the entry with the waiters index.
+        """
+        if self._count >= self.capacity:
+            raise SimulationError("issue window overflow")
+        not_ready = 0
+        entry = IWEntry(dyn, 0, earliest)
+        # Stores do not wait for operands: address generation uses ready
+        # base registers and the data drains from the store queue at
+        # commit, so they never gate dependent scheduling.
+        if dyn.op is not OpClass.STORE:
+            for tag in dyn.src_tags:
+                if tag >= 0 and not ready(tag):
+                    not_ready += 1
+                    self._waiters.setdefault(tag, []).append(entry)
+        entry.not_ready = not_ready
+        self._entries.append(entry)
+        self._count += 1
+        self.writes += 1
+        return entry
+
+    def broadcast(self, tag: int, cycle: int) -> None:
+        """Producer result tag broadcast: wake dependents.
+
+        Dependents become selectable at ``cycle + wakeup_extra_delay``.
+        """
+        self.broadcasts += 1
+        waiters = self._waiters.pop(tag, None)
+        if not waiters:
+            return
+        ready_at = cycle + self.wakeup_extra_delay
+        for entry in waiters:
+            if entry.alive:
+                entry.not_ready -= 1
+                if ready_at > entry.earliest:
+                    entry.earliest = ready_at
+                if entry.not_ready < 0:
+                    raise SimulationError("negative wait count in issue window")
+
+    def select(self, cycle: int, fu_pool) -> List[DynInstr]:
+        """Oldest-first selection of up to ``issue_width`` ready entries."""
+        selected: List[DynInstr] = []
+        compact_needed = False
+        for entry in self._entries:
+            if not entry.alive:
+                compact_needed = True
+                continue
+            if len(selected) >= self.issue_width:
+                break
+            if entry.not_ready or entry.earliest > cycle:
+                continue
+            op = entry.dyn.op
+            if not fu_pool.try_issue(FU_KIND[op], cycle,
+                                     EXEC_LATENCY[op],
+                                     unpipelined=op in UNPIPELINED):
+                continue
+            entry.alive = False
+            compact_needed = True
+            self._count -= 1
+            selected.append(entry.dyn)
+        if compact_needed and len(self._entries) > 2 * max(1, self._count):
+            self._entries = [e for e in self._entries if e.alive]
+        return selected
+
+    def flush(self) -> None:
+        """Drop all entries (used on mode switches / full squash)."""
+        for entry in self._entries:
+            entry.alive = False
+        self._entries.clear()
+        self._waiters.clear()
+        self._count = 0

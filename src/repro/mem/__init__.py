@@ -1,0 +1,6 @@
+"""Memory hierarchy substrate: set-associative caches and L1/L2/DRAM stack."""
+
+from repro.mem.cache import Cache, CacheStats
+from repro.mem.hierarchy import MemoryHierarchy, MemoryConfig
+
+__all__ = ["Cache", "CacheStats", "MemoryHierarchy", "MemoryConfig"]

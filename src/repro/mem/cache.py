@@ -1,0 +1,100 @@
+"""Set-associative cache with true-LRU replacement.
+
+Timing is handled by the callers (the hierarchy knows hit latencies; the
+cores know how to overlap them); this model tracks *contents* so hit/miss
+behaviour emerges from the actual address stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class CacheStats:
+    """Access counters, also consumed by the power model."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writes: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = self.evictions = self.writes = 0
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass
+class Cache:
+    """One level of set-associative cache with LRU replacement."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_bytes: int = 32
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.ways < 1:
+            raise ConfigError(f"{self.name}: ways must be >= 1")
+        if not _is_pow2(self.line_bytes):
+            raise ConfigError(f"{self.name}: line size must be a power of two")
+        if self.size_bytes % (self.line_bytes * self.ways) != 0:
+            raise ConfigError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"line*ways ({self.line_bytes}*{self.ways})"
+            )
+        self.num_sets = self.size_bytes // (self.line_bytes * self.ways)
+        if not _is_pow2(self.num_sets):
+            raise ConfigError(f"{self.name}: set count must be a power of two")
+        self._set_mask = self.num_sets - 1
+        self._line_shift = self.line_bytes.bit_length() - 1
+        # Per-set map tag -> LRU stamp; eviction scans for the min stamp
+        # (associativity is small, so the scan beats an ordered structure).
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._clock = 0
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Access one address; returns True on hit. Misses allocate."""
+        self._clock += 1
+        self.stats.accesses += 1
+        if write:
+            self.stats.writes += 1
+        line = addr >> self._line_shift
+        set_idx = line & self._set_mask
+        tag = line >> self.num_sets.bit_length() - 1
+        cset = self._sets[set_idx]
+        if tag in cset:
+            cset[tag] = self._clock
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(cset) >= self.ways:
+            victim = min(cset, key=cset.get)
+            del cset[victim]
+            self.stats.evictions += 1
+        cset[tag] = self._clock
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without updating LRU state or counters."""
+        line = addr >> self._line_shift
+        set_idx = line & self._set_mask
+        tag = line >> self.num_sets.bit_length() - 1
+        return tag in self._sets[set_idx]
+
+    def flush(self) -> None:
+        """Invalidate all contents (stats are preserved)."""
+        for cset in self._sets:
+            cset.clear()

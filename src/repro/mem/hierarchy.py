@@ -1,0 +1,76 @@
+"""L1I / L1D / unified L2 / DRAM hierarchy (Table 2 of the paper).
+
+Latencies are returned in cycles *of the requesting clock domain*. The
+paper keeps DRAM access time fixed in nanoseconds, so when a domain's clock
+is raised the DRAM latency in cycles grows proportionally — callers pass a
+``mem_scale`` factor for that (1.0 = baseline clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.cache import Cache
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Sizes and latencies, defaulting to the paper's Table 2."""
+
+    l1i_kb: int = 64
+    l1i_ways: int = 2
+    l1d_kb: int = 64
+    l1d_ways: int = 4
+    l2_kb: int = 512
+    l2_ways: int = 4
+    line_bytes: int = 32
+    l1_latency: int = 2          # cycles, pipelined
+    l2_latency: int = 10         # cycles
+    dram_latency: int = 100      # cycles at the baseline clock
+
+
+@dataclass
+class MemoryHierarchy:
+    """Content-tracking memory stack shared by the simulated cores."""
+
+    config: MemoryConfig = field(default_factory=MemoryConfig)
+
+    def __post_init__(self) -> None:
+        cfg = self.config
+        self.l1i = Cache("l1i", cfg.l1i_kb * 1024, cfg.l1i_ways, cfg.line_bytes)
+        self.l1d = Cache("l1d", cfg.l1d_kb * 1024, cfg.l1d_ways, cfg.line_bytes)
+        self.l2 = Cache("l2", cfg.l2_kb * 1024, cfg.l2_ways, cfg.line_bytes)
+
+    def ifetch(self, pc: int, mem_scale: float = 1.0) -> int:
+        """Instruction fetch; returns total latency in requester cycles."""
+        if self.l1i.access(pc):
+            return self.config.l1_latency
+        if self.l2.access(pc):
+            return self.config.l1_latency + self.config.l2_latency
+        return (self.config.l1_latency + self.config.l2_latency
+                + self._dram(mem_scale))
+
+    def load(self, addr: int, mem_scale: float = 1.0) -> int:
+        """Data load; returns total latency in requester cycles."""
+        if self.l1d.access(addr):
+            return self.config.l1_latency
+        if self.l2.access(addr):
+            return self.config.l1_latency + self.config.l2_latency
+        return (self.config.l1_latency + self.config.l2_latency
+                + self._dram(mem_scale))
+
+    def store(self, addr: int, mem_scale: float = 1.0) -> int:
+        """Data store (write-allocate); latency matters only for LSQ drain."""
+        if self.l1d.access(addr, write=True):
+            return self.config.l1_latency
+        if self.l2.access(addr, write=True):
+            return self.config.l1_latency + self.config.l2_latency
+        return (self.config.l1_latency + self.config.l2_latency
+                + self._dram(mem_scale))
+
+    def _dram(self, mem_scale: float) -> int:
+        return max(1, round(self.config.dram_latency * mem_scale))
+
+    def flush(self) -> None:
+        for cache in (self.l1i, self.l1d, self.l2):
+            cache.flush()

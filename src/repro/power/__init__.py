@@ -1,0 +1,31 @@
+"""Wattch-style power/energy modelling (Figs. 13-15).
+
+Dynamic energy is counted per structure access (switched capacitance x
+Vdd^2), static energy from per-device leakage currents (Butts-Sohi style,
+Table 2's technology parameters), and clock-distribution energy from an
+Alpha-21264-like global grid plus per-domain local grids that stop burning
+dynamic power when their domain is clock-gated — the Flywheel's front-end
+grid during trace execution.
+"""
+
+from repro.power.technology import TechNode, TECH_BY_NAME, TECH_130, TECH_90, TECH_60, TECH_180
+from repro.power.energy import ACCESS_ENERGY_PJ, dynamic_energy_pj
+from repro.power.leakage import LEAKAGE_WEIGHTS, leakage_power_w
+from repro.power.clocktree import clock_energy_pj
+from repro.power.accounting import EnergyReport, energy_report
+
+__all__ = [
+    "TechNode",
+    "TECH_BY_NAME",
+    "TECH_180",
+    "TECH_130",
+    "TECH_90",
+    "TECH_60",
+    "ACCESS_ENERGY_PJ",
+    "dynamic_energy_pj",
+    "LEAKAGE_WEIGHTS",
+    "leakage_power_w",
+    "clock_energy_pj",
+    "EnergyReport",
+    "energy_report",
+]

@@ -1,0 +1,75 @@
+"""Per-access dynamic energies (Wattch-style switched-capacitance model).
+
+Values are picojoules per event at the 0.18um reference node, scaled to
+other nodes by ``TechNode.dyn_scale``. The relative magnitudes follow the
+usual Wattch breakdown for a 4-wide out-of-order core: array accesses cost
+roughly in proportion to their size and port count, the issue window's CAM
+broadcast is the most expensive per-operation structure, and functional
+units dominate per executed instruction.
+
+The event names are exactly the counters emitted by the cores into
+``SimStats.events``; adding a new activity to a core only requires a new
+entry here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.power.technology import TechNode
+
+#: pJ per event at 0.18um.
+ACCESS_ENERGY_PJ: Dict[str, float] = {
+    # Front-end
+    "icache_access": 640.0,      # one 4-instruction fetch group
+    "bpred_lookup": 110.0,
+    "decode_op": 90.0,
+    "rename_op": 150.0,
+    # Dual-clock dispatch path
+    "sync_fifo_push": 35.0,
+    "sync_fifo_pop": 35.0,
+    # Issue window
+    "iw_write": 190.0,
+    "iw_broadcast": 290.0,       # CAM tag match across 128 entries
+    "iw_select": 110.0,
+    # Register update / renaming tables (Flywheel)
+    "update_op": 70.0,
+    "srt_swap": 180.0,
+    "checkpoint": 180.0,
+    # Register file and execution
+    "rf_read": 95.0,
+    "rf_write": 120.0,
+    "fu_op": 430.0,
+    "rob_write": 95.0,
+    "rob_read": 70.0,
+    "lsq_write": 75.0,
+    # Data-side memory
+    "dcache_access": 560.0,
+    "l2_access": 1400.0,
+    # Execution Cache
+    "ec_ta_lookup": 120.0,
+    "ec_block_write": 700.0,     # one 8-slot DA block
+    "ec_block_read": 400.0,      # single active bank
+    "ec_invalidate": 900.0,
+    # Mode plumbing (negligible but tracked)
+    "mode_switch": 50.0,
+}
+
+#: Structures whose per-access energy grows with the Flywheel's larger
+#: register file (512 entries, two cycles) relative to the baseline's 192.
+_FLYWHEEL_RF_FACTOR = 1.9
+
+
+def dynamic_energy_pj(events: Mapping[str, int], tech: TechNode,
+                      flywheel_rf: bool = False) -> Dict[str, float]:
+    """Energy per event type (pJ) for one run's event counts."""
+    out: Dict[str, float] = {}
+    scale = tech.dyn_scale
+    for event, count in events.items():
+        base = ACCESS_ENERGY_PJ.get(event)
+        if base is None or not count:
+            continue
+        if flywheel_rf and event in ("rf_read", "rf_write"):
+            base *= _FLYWHEEL_RF_FACTOR
+        out[event] = base * count * scale
+    return out

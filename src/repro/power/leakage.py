@@ -1,0 +1,52 @@
+"""Static (leakage) power model, after Butts & Sohi.
+
+Each structure leaks ``devices x I_leak(node) x Vdd``; we carry relative
+device-count weights per structure (millions of devices) rather than exact
+transistor counts — the paper's Fig. 15 depends only on how the *static
+fraction* of total energy grows as nodes shrink, which these weights and
+Table 2's currents capture. Clock gating does not stop leakage (the paper
+uses clock gating, not power gating, and notes its results are therefore
+conservative).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.power.technology import TechNode
+
+#: Relative device counts (millions) per leaking structure block.
+LEAKAGE_WEIGHTS: Dict[str, float] = {
+    "frontend": 4.0,      # fetch, decode, rename, bpred
+    "issue_window": 3.0,
+    "regfile": 1.5,
+    "exec_units": 4.0,
+    "rob_lsq": 2.0,
+    "l1_caches": 8.0,
+    "l2_cache": 24.0,
+    "ec": 6.0,            # execution cache (Flywheel only)
+    "tables": 0.8,        # RT/FRT/SRT/RAT
+}
+
+#: Watts per (million devices x nA of normalized per-device leakage x V).
+#: Calibrated so leakage is ~12% of the baseline's total power at 130nm,
+#: rising to ~40% at 60nm — the Butts-Sohi-era projections the paper uses.
+_W_PER_MDEV_NA_V = 1.0e-4
+
+
+def leakage_power_w(tech: TechNode, structures: Mapping[str, float]) -> float:
+    """Total static power (W) for the given structure weights."""
+    mdev = sum(structures.values())
+    return mdev * tech.leak_na_per_device * tech.vdd * _W_PER_MDEV_NA_V
+
+
+def baseline_structures() -> Dict[str, float]:
+    """Leaking blocks present in the baseline core."""
+    return {k: v for k, v in LEAKAGE_WEIGHTS.items() if k not in ("ec", "tables")}
+
+
+def flywheel_structures() -> Dict[str, float]:
+    """Leaking blocks present in the Flywheel core (larger RF, EC, tables)."""
+    out = dict(LEAKAGE_WEIGHTS)
+    out["regfile"] = LEAKAGE_WEIGHTS["regfile"] * (512.0 / 192.0)
+    return out

@@ -1,0 +1,17 @@
+"""Register renaming substrates.
+
+* :mod:`repro.rename.r10k` — the baseline's MIPS R10000-style renamer
+  (map table + free list over a unified physical register file).
+* :mod:`repro.rename.pools` — per-architected-register pools used by the
+  Flywheel's two-phase scheme.
+* :mod:`repro.rename.two_phase` — Rename (LID allocation) + Register
+  Update (RT/FRT/SRT remapping) with XOR checkpoints.
+* :mod:`repro.rename.redistribution` — periodic pool-size adaptation.
+"""
+
+from repro.rename.r10k import R10KRenamer
+from repro.rename.pools import PoolFile
+from repro.rename.two_phase import TwoPhaseRenamer
+from repro.rename.redistribution import RedistributionController
+
+__all__ = ["R10KRenamer", "PoolFile", "TwoPhaseRenamer", "RedistributionController"]

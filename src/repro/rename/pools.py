@@ -1,0 +1,110 @@
+"""Per-architected-register physical pools (Sections 3.4-3.5).
+
+The Flywheel register file dedicates a circular pool of physical entries to
+every architected register. A write always allocates the next entry of its
+own pool, which removes false dependencies without a global free list and —
+crucially — makes the mapping reproducible when traces replay from the
+Execution Cache.
+
+Capacity rule: a pool of size ``S`` can hold the last committed value plus
+at most ``S - 1`` in-flight (not yet retired) writes; allocating beyond
+that stalls Rename (trace creation) or the EC dispatch (trace execution).
+These stalls are the "limited rename capacity" cost the paper measures in
+Fig. 11, and what redistribution (Section 3.5, [12]) relieves.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigError, SimulationError
+from repro.isa.registers import NUM_ARCH_REGS
+
+
+class PoolFile:
+    """Pool geometry + in-flight accounting for the Flywheel register file."""
+
+    def __init__(self, total_regs: int, default_pool_size: int,
+                 min_pool_size: int = 2, max_pool_size: int = 32):
+        if default_pool_size * NUM_ARCH_REGS != total_regs:
+            raise ConfigError(
+                f"{total_regs} physical registers do not divide evenly into "
+                f"{NUM_ARCH_REGS} pools of {default_pool_size}"
+            )
+        if not 1 <= min_pool_size <= default_pool_size <= max_pool_size:
+            raise ConfigError("pool size bounds are inconsistent")
+        self.total_regs = total_regs
+        self.min_pool_size = min_pool_size
+        self.max_pool_size = max_pool_size
+        self.sizes: List[int] = [default_pool_size] * NUM_ARCH_REGS
+        self.bases: List[int] = [0] * NUM_ARCH_REGS
+        self._recompute_bases()
+        self.inflight: List[int] = [0] * NUM_ARCH_REGS
+        #: rename stalls attributed to each architected register, consumed
+        #: by the redistribution controller and reset at each check.
+        self.stall_counts: List[int] = [0] * NUM_ARCH_REGS
+        #: per-interval high-water mark of in-flight writes (the "history
+        #: of the renaming constraints" of [12]); a stall means demand
+        #: exceeded the pool, so the mark is pushed past the current size.
+        self.highwater: List[int] = [0] * NUM_ARCH_REGS
+
+    def _recompute_bases(self) -> None:
+        base = 0
+        for arch in range(NUM_ARCH_REGS):
+            self.bases[arch] = base
+            base += self.sizes[arch]
+        if base != self.total_regs:
+            raise SimulationError("pool sizes no longer sum to the file size")
+
+    # ----------------------------------------------------------- mapping
+
+    def phys(self, arch: int, slot: int) -> int:
+        """Physical register index for a pool slot of ``arch``."""
+        return self.bases[arch] + slot % self.sizes[arch]
+
+    # ------------------------------------------------------ in-flight use
+
+    def can_allocate(self, arch: int) -> bool:
+        """True if another in-flight write to ``arch`` fits in its pool."""
+        return self.inflight[arch] < self.sizes[arch] - 1
+
+    def allocate(self, arch: int) -> None:
+        if not self.can_allocate(arch):
+            raise SimulationError(f"pool overflow on architected reg {arch}")
+        self.inflight[arch] += 1
+        if self.inflight[arch] > self.highwater[arch]:
+            self.highwater[arch] = self.inflight[arch]
+
+    def retire(self, arch: int) -> None:
+        if self.inflight[arch] <= 0:
+            raise SimulationError(f"pool underflow on architected reg {arch}")
+        self.inflight[arch] -= 1
+
+    def note_stall(self, arch: int) -> None:
+        self.stall_counts[arch] += 1
+        # Demand provably exceeds the pool; push the mark past it so the
+        # redistribution sizes from actual need, not the current ceiling.
+        want = self.sizes[arch] + 4
+        if self.highwater[arch] < want:
+            self.highwater[arch] = want
+
+    def drain(self) -> None:
+        """Clear all in-flight counts (full pipeline flush)."""
+        for arch in range(NUM_ARCH_REGS):
+            self.inflight[arch] = 0
+
+    # --------------------------------------------------- redistribution
+
+    def apply_sizes(self, new_sizes: List[int]) -> None:
+        """Install a new pool geometry (only valid with no in-flight work)."""
+        if any(self.inflight):
+            raise SimulationError("cannot resize pools with in-flight writes")
+        if len(new_sizes) != NUM_ARCH_REGS:
+            raise ConfigError("need one pool size per architected register")
+        if sum(new_sizes) != self.total_regs:
+            raise ConfigError("new pool sizes must sum to the file size")
+        for size in new_sizes:
+            if not self.min_pool_size <= size <= self.max_pool_size:
+                raise ConfigError(f"pool size {size} out of bounds")
+        self.sizes = list(new_sizes)
+        self._recompute_bases()

@@ -1,0 +1,62 @@
+"""MIPS R10000-style register renaming (baseline core).
+
+A map table translates each architected register to a physical register;
+destinations allocate a fresh physical register from a free list; the
+previous mapping is freed when the instruction commits. Register 0 is the
+hard-wired zero: never renamed, always ready (tag 0 is reserved for it).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.errors import ConfigError, SimulationError
+from repro.isa import DynInstr
+from repro.isa.registers import NUM_ARCH_REGS, ZERO_REG
+
+#: Physical tag reserved for the architected zero register.
+ZERO_TAG = 0
+
+
+class R10KRenamer:
+    """Map table + free list renamer over a unified physical file."""
+
+    def __init__(self, phys_regs: int):
+        if phys_regs < NUM_ARCH_REGS + 1:
+            raise ConfigError(
+                f"need at least {NUM_ARCH_REGS + 1} physical registers, "
+                f"got {phys_regs}"
+            )
+        self.phys_regs = phys_regs
+        # Identity-map the architected state at reset; tag 0 = zero reg.
+        self._map: List[int] = list(range(NUM_ARCH_REGS))
+        self._free: Deque[int] = deque(range(NUM_ARCH_REGS, phys_regs))
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def can_rename(self, needs_dest: bool) -> bool:
+        return not needs_dest or bool(self._free)
+
+    def rename(self, dyn: DynInstr) -> None:
+        """Assign source tags and allocate a destination tag in place."""
+        dyn.src_tags = tuple(self._map[s] for s in dyn.srcs)
+        if dyn.dest is None or dyn.dest == ZERO_REG:
+            dyn.dest_tag = -1
+            dyn.old_dest_tag = -1
+            return
+        if not self._free:
+            raise SimulationError("rename called with empty free list")
+        tag = self._free.popleft()
+        dyn.old_dest_tag = self._map[dyn.dest]
+        self._map[dyn.dest] = tag
+        dyn.dest_tag = tag
+
+    def commit(self, dyn: DynInstr) -> None:
+        """Free the previous mapping of the committed destination."""
+        if dyn.dest_tag >= 0 and dyn.old_dest_tag >= 0:
+            # The zero register's identity tag is never recycled.
+            if dyn.old_dest_tag != ZERO_TAG:
+                self._free.append(dyn.old_dest_tag)

@@ -1,0 +1,119 @@
+"""Dynamic register redistribution (Section 3.5, reference [12]).
+
+At fixed intervals the per-register stall counters and in-flight
+high-water marks are examined. If renaming stalled during the interval, a
+new pool geometry is computed by *demand sizing*: each architected
+register asks for its observed peak in-flight count plus headroom, clamped
+to [min, max], and the fixed register-file budget is balanced by trimming
+the registers that stalled least. Applying a redistribution invalidates
+the Execution Cache (all recorded LID mappings become stale) and costs a
+fixed penalty; demand sizing converges in one or two rounds, matching the
+paper's observation that steady state is reached rapidly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.registers import NUM_ARCH_REGS
+from repro.rename.pools import PoolFile
+
+#: Minimum stalls in an interval before any redistribution is attempted.
+_MIN_STALLS = 32
+#: Headroom added on top of the observed peak demand.
+_HEADROOM = 1
+#: Hysteresis: total pool-size movement below this is not worth the EC
+#: invalidation that applying a redistribution costs.
+_MIN_MOVEMENT = 8
+
+
+class RedistributionController:
+    """Decides new pool geometries from observed rename pressure."""
+
+    def __init__(self, pools: PoolFile, interval: int, penalty: int):
+        self.pools = pools
+        self.interval = interval
+        self.penalty = penalty
+        self.next_check = interval
+        self.redistributions = 0
+
+    def due(self, cycle: int) -> bool:
+        return cycle >= self.next_check
+
+    def check(self, cycle: int) -> Optional[List[int]]:
+        """Evaluate counters; return a new size vector or None.
+
+        The caller applies the sizes once the pipeline is drained, charges
+        ``penalty`` cycles, and invalidates the EC. Counters reset either
+        way.
+        """
+        self.next_check = cycle + self.interval
+        pools = self.pools
+        total_stalls = sum(pools.stall_counts)
+        if total_stalls < _MIN_STALLS:
+            self._reset_counters()
+            return None
+        sizes = self._demand_sizes()
+        self._reset_counters()
+        movement = sum(abs(new - old)
+                       for new, old in zip(sizes, pools.sizes))
+        if movement < _MIN_MOVEMENT:
+            # Converged (steady state): small oscillations are not worth
+            # invalidating the Execution Cache over.
+            return None
+        self.redistributions += 1
+        # Back off after each applied redistribution: steady state should
+        # be reached in a couple of rounds, and each round flushes the EC.
+        self.interval *= 2
+        return sizes
+
+    def _demand_sizes(self) -> List[int]:
+        pools = self.pools
+        lo, hi, budget = pools.min_pool_size, pools.max_pool_size, pools.total_regs
+
+        desired = [
+            min(hi, max(lo, pools.highwater[a] + _HEADROOM))
+            for a in range(NUM_ARCH_REGS)
+        ]
+        surplus = budget - sum(desired)
+
+        if surplus > 0:
+            # Spread spare entries over the registers that stalled, most
+            # pressured first, then anywhere there is room.
+            order = sorted(range(NUM_ARCH_REGS),
+                           key=lambda a: pools.stall_counts[a], reverse=True)
+            while surplus > 0:
+                granted = False
+                for a in order:
+                    if surplus == 0:
+                        break
+                    if desired[a] < hi:
+                        desired[a] += 1
+                        surplus -= 1
+                        granted = True
+                if not granted:
+                    raise AssertionError(
+                        "register file larger than max pool sizes allow")
+        elif surplus < 0:
+            # Trim from the least-stalled registers first, never below min.
+            order = sorted(range(NUM_ARCH_REGS),
+                           key=lambda a: pools.stall_counts[a])
+            while surplus < 0:
+                trimmed = False
+                for a in order:
+                    if surplus == 0:
+                        break
+                    if desired[a] > lo:
+                        desired[a] -= 1
+                        surplus += 1
+                        trimmed = True
+                if not trimmed:
+                    raise AssertionError(
+                        "register-file budget below the minimum pool sizes")
+        return desired
+
+    def _reset_counters(self) -> None:
+        pools = self.pools
+        for arch in range(NUM_ARCH_REGS):
+            pools.stall_counts[arch] = 0
+            pools.highwater[arch] = pools.inflight[arch]

@@ -1,0 +1,142 @@
+"""Two-phase register renaming (Section 3.5, "direct access register file").
+
+Phase 1 — **Register Rename** (front-end): every architected register has a
+running Logical ID (LID). A source reads the current LID of its register; a
+destination increments it. LIDs restart from zero at every trace start, so
+the (arch, LID) pairs recorded in the Execution Cache are position-
+independent and can be replayed.
+
+Phase 2 — **Register Update** (back-end, one pipeline stage): (arch, LID)
+is remapped to a physical register through the Remapping Table (RT), which
+records, per architected register, the pool slot that holds the last value
+committed before the current trace (the slot LID 0 refers to). The physical
+slot is ``(RT[arch] + LID) mod pool_size`` — the additive equivalent of the
+paper's XOR recomputation trick.
+
+Checkpoints: the Future Remapping Table (FRT) follows retirement; copying
+FRT into RT at a trace change re-bases LID 0 onto the newest committed
+value. The Speculative Remapping Table (SRT) follows the Update stage
+instead and can be swapped in one cycle when the trace ends without a
+mispredict (end-of-trace seen before Register Update).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.isa import DynInstr
+from repro.isa.registers import NUM_ARCH_REGS, ZERO_REG
+from repro.rename.pools import PoolFile
+
+
+class TwoPhaseRenamer:
+    """Rename (LID) + Register Update (RT/FRT/SRT) bookkeeping."""
+
+    def __init__(self, pools: PoolFile):
+        self.pools = pools
+        # Phase 1 state: current LID per architected register.
+        self._lid: List[int] = [0] * NUM_ARCH_REGS
+        # Phase 2 state: slot of the last committed value at trace start.
+        self._rt: List[int] = [0] * NUM_ARCH_REGS
+        self._frt: List[int] = [0] * NUM_ARCH_REGS
+        self._srt: List[int] = [0] * NUM_ARCH_REGS
+        self._srt_trace: List[int] = [-1] * NUM_ARCH_REGS
+        self.renames = 0
+        self.updates = 0
+
+    # ------------------------------------------------------ phase 1: LIDs
+
+    def can_rename_dest(self, dyn: DynInstr) -> bool:
+        """Check pool capacity for the destination (stall otherwise)."""
+        if dyn.dest is None or dyn.dest == ZERO_REG:
+            return True
+        ok = self.pools.can_allocate(dyn.dest)
+        if not ok:
+            self.pools.note_stall(dyn.dest)
+        return ok
+
+    def rename(self, dyn: DynInstr) -> None:
+        """Assign LIDs in place (trace-creation front-end path)."""
+        self.renames += 1
+        dyn.src_lids = tuple(self._lid[s] for s in dyn.srcs)
+        if dyn.dest is None or dyn.dest == ZERO_REG:
+            dyn.dest_lid = -1
+            return
+        self._lid[dyn.dest] += 1
+        dyn.dest_lid = self._lid[dyn.dest]
+        self.pools.allocate(dyn.dest)
+
+    def reset_lids(self) -> None:
+        """Trace start: LIDs restart at zero (Section 3.5)."""
+        for arch in range(NUM_ARCH_REGS):
+            self._lid[arch] = 0
+
+    # ------------------------------------------------- phase 2: remapping
+
+    def update(self, dyn: DynInstr, trace_id: int) -> None:
+        """Register Update stage: compute physical tags from (arch, LID).
+
+        Also maintains the SRT with the newest mapping per destination,
+        guarded by ``trace_id`` so an older in-flight instruction cannot
+        clobber a newer one's record.
+        """
+        self.updates += 1
+        pools = self.pools
+        dyn.src_tags = tuple(
+            pools.phys(arch, self._rt[arch] + lid)
+            for arch, lid in zip(dyn.srcs, dyn.src_lids)
+        )
+        if dyn.dest_lid >= 0:
+            arch = dyn.dest
+            slot = (self._rt[arch] + dyn.dest_lid) % pools.sizes[arch]
+            dyn.dest_tag = pools.bases[arch] + slot
+            if trace_id >= self._srt_trace[arch]:
+                self._srt[arch] = slot
+                self._srt_trace[arch] = trace_id
+        else:
+            dyn.dest_tag = -1
+
+    def retire(self, dyn: DynInstr) -> None:
+        """Retirement: advance the FRT and release the pool slot."""
+        if dyn.dest_lid >= 0:
+            arch = dyn.dest
+            self._frt[arch] = dyn.dest_tag - self.pools.bases[arch]
+            self.pools.retire(arch)
+
+    # --------------------------------------------------------- checkpoints
+
+    def checkpoint_from_frt(self) -> None:
+        """Trace change after full retirement: RT <- FRT (slow path)."""
+        self._rt = list(self._frt)
+        self.reset_lids()
+
+    def checkpoint_from_srt(self) -> None:
+        """Fast trace switch: RT <- SRT (end-of-trace seen pre-Update)."""
+        self._rt = list(self._srt)
+        self.reset_lids()
+
+    def reset_after_redistribution(self) -> None:
+        """Pool geometry changed: all renaming state restarts at slot 0.
+
+        Architected values are conceptually migrated to slot 0 of each new
+        pool; the Execution Cache must be invalidated by the caller since
+        every recorded LID mapping is now stale (Section 3.5).
+        """
+        for arch in range(NUM_ARCH_REGS):
+            self._lid[arch] = 0
+            self._rt[arch] = 0
+            self._frt[arch] = 0
+            self._srt[arch] = 0
+            self._srt_trace[arch] = -1
+
+    def sync_srt_to_frt(self) -> None:
+        """Re-arm the SRT after a squash (its contents may be stale)."""
+        self._srt = list(self._frt)
+        for arch in range(NUM_ARCH_REGS):
+            self._srt_trace[arch] = -1
+
+    # ------------------------------------------------------------- helpers
+
+    def committed_phys(self, arch: int) -> int:
+        """Physical register currently holding ``arch``'s committed value."""
+        return self.pools.bases[arch] + self._frt[arch]

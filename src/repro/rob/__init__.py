@@ -1,0 +1,5 @@
+"""Reorder buffer."""
+
+from repro.rob.reorder_buffer import ReorderBuffer, RobEntry
+
+__all__ = ["ReorderBuffer", "RobEntry"]

@@ -1,0 +1,44 @@
+"""Table 1: achievable module clock frequencies per technology node.
+
+Each module's frequency is its pipelined access count divided by the total
+access time from the calibrated delay models. The baseline's cycle time is
+set by the slowest single-cycle module — the issue window — which is the
+paper's entire premise: everything else could be clocked faster.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.timing.structures import (
+    cache_latency_ps,
+    ec_latency_ps,
+    iw_latency_ps,
+    rf_latency_ps,
+)
+
+#: Nodes reported in Table 1 (the paper's frequency table omits 0.25um).
+TABLE1_NODES = (0.18, 0.13, 0.09, 0.06)
+
+
+def module_frequencies_mhz(node_um: float) -> Dict[str, float]:
+    """All Table 1 rows for one technology node, in MHz."""
+    return {
+        "iw_single_cycle": 1e6 / iw_latency_ps(node_um, 128, 6),
+        "icache_two_cycle": 2e6 / cache_latency_ps(node_um, 64, 2, 1),
+        "dcache_two_cycle": 2e6 / cache_latency_ps(node_um, 64, 4, 2),
+        "rf_single_cycle": 1e6 / rf_latency_ps(node_um, 192),
+        "ec_three_cycle": 3e6 / ec_latency_ps(node_um),
+        "rf512_two_cycle": 2e6 / rf_latency_ps(node_um, 512),
+    }
+
+
+#: Table 1 as printed in the paper, for comparison in reports and tests.
+PAPER_TABLE1: Dict[str, Dict[float, int]] = {
+    "iw_single_cycle": {0.18: 950, 0.13: 1150, 0.09: 1500, 0.06: 1950},
+    "icache_two_cycle": {0.18: 1300, 0.13: 1800, 0.09: 2600, 0.06: 3800},
+    "dcache_two_cycle": {0.18: 1000, 0.13: 1400, 0.09: 2000, 0.06: 3000},
+    "rf_single_cycle": {0.18: 1150, 0.13: 1650, 0.09: 2250, 0.06: 3250},
+    "ec_three_cycle": {0.18: 1000, 0.13: 1400, 0.09: 2050, 0.06: 3000},
+    "rf512_two_cycle": {0.18: 1050, 0.13: 1500, 0.09: 2000, 0.06: 2950},
+}

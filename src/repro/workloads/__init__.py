@@ -1,0 +1,33 @@
+"""Synthetic workload substrate.
+
+The paper evaluates on SPEC95/SPEC2000 binaries, which are not available
+here. This package builds the closest synthetic equivalent: seeded static
+programs (control-flow graphs with loop nests, calls, biased and random
+branches, and typed memory regions) plus an architectural walker that
+executes them, producing the dynamic instruction stream consumed by the
+cycle-level cores.
+
+Each benchmark the paper reports (ijpeg, gcc, gzip, vpr, mesa, equake,
+parser, vortex, bzip2, turb3d) has a :class:`WorkloadProfile` calibrated to
+the characteristics the paper's results depend on: instruction-level
+parallelism, branch predictability, code footprint (trace locality), memory
+working set, FP mix, and rename-pool pressure.
+"""
+
+from repro.workloads.cfg import Region, BasicBlock, Program
+from repro.workloads.profiles import WorkloadProfile, PROFILES, SPEC_NAMES, get_profile
+from repro.workloads.generator import ProgramGenerator, generate_program
+from repro.workloads.stream import InstructionStream
+
+__all__ = [
+    "Region",
+    "BasicBlock",
+    "Program",
+    "WorkloadProfile",
+    "PROFILES",
+    "SPEC_NAMES",
+    "get_profile",
+    "ProgramGenerator",
+    "generate_program",
+    "InstructionStream",
+]

@@ -1,0 +1,398 @@
+"""Seeded synthetic program generator.
+
+Builds a :class:`~repro.workloads.cfg.Program` from a
+:class:`~repro.workloads.profiles.WorkloadProfile`. The generated code has
+the static shape of a real integer/FP benchmark:
+
+* a top-level *dispatcher* loop that calls a set of functions in a fixed
+  (but seeded) hot/cold order, forever;
+* each function is a loop nest — an outer loop whose body may contain an
+  if/else diamond (biased or random condition) and an inner loop — ending
+  in a return;
+* every instruction slot draws its op class, destination and sources from
+  the profile's mix, with ``serial_frac`` controlling dependence-chain
+  depth and ``hot_dest_bias`` concentrating writes on few architected
+  registers (rename-pool pressure).
+
+Generation is fully deterministic given (profile, seed).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.isa import (
+    BranchKind,
+    BranchSpec,
+    MemRef,
+    OpClass,
+    StaticInstr,
+)
+from repro.isa.registers import FP_REG_BASE, NUM_INT_REGS
+from repro.workloads.cfg import BasicBlock, Program, Region
+from repro.workloads.profiles import WorkloadProfile
+
+# Register conventions used by generated code (flat indices).
+_INT_INVARIANT = tuple(range(1, 8))            # loop counters, base pointers
+_INT_ACCUM = (6, 7)          # loop-carried accumulators (acc_frac knob)
+_INT_GENERAL = tuple(range(8, NUM_INT_REGS))   # general int destinations
+_FP_INVARIANT = tuple(range(FP_REG_BASE + 1, FP_REG_BASE + 6))
+_FP_ACCUM = (FP_REG_BASE + 4, FP_REG_BASE + 5)
+_FP_GENERAL = tuple(range(FP_REG_BASE + 6, FP_REG_BASE + 32))
+
+_HOT_REGION, _WARM_REGION, _COLD_REGION = 0, 1, 2
+_REGION_BASES = (0x1000_0000, 0x2000_0000, 0x4000_0000)
+
+
+def _seed_for(profile_name: str, seed: Optional[int]) -> int:
+    """Stable per-profile default seed (crc32 of the name)."""
+    if seed is not None:
+        return seed
+    return zlib.crc32(profile_name.encode("utf-8"))
+
+
+class ProgramGenerator:
+    """Builds one synthetic program for a workload profile."""
+
+    def __init__(self, profile: WorkloadProfile, seed: Optional[int] = None):
+        self.profile = profile
+        self.seed = _seed_for(profile.name, seed)
+        self._rng = random.Random(self.seed)
+        self._next_sid = 0
+        self._next_bid = 0
+        self._program = Program(name=profile.name, seed=self.seed)
+        # Rolling window of recently written registers, per class, used to
+        # wire realistic cross-block dependences.
+        self._recent_int: Deque[int] = deque(maxlen=8)
+        self._recent_fp: Deque[int] = deque(maxlen=8)
+        hot = self._rng.sample(_INT_GENERAL, profile.hot_dest_count)
+        self._hot_int = tuple(hot)
+        self._hot_fp = tuple(
+            self._rng.sample(_FP_GENERAL, profile.hot_dest_count)
+        )
+        # Destinations rotate round-robin over the general sets, the way a
+        # register allocator spreads live ranges; ``hot_dest_bias`` breaks
+        # the rotation to concentrate writes (rename-pool pressure).
+        self._dest_cursor_int = 0
+        self._dest_cursor_fp = 0
+
+    # ------------------------------------------------------------------ API
+
+    def build(self) -> Program:
+        """Generate, finalize and return the program."""
+        prog = self._program
+        prog.regions = [
+            Region(_HOT_REGION, _REGION_BASES[0], self.profile.hot_region_kb * 1024),
+            Region(_WARM_REGION, _REGION_BASES[1], self.profile.warm_region_kb * 1024),
+            Region(_COLD_REGION, _REGION_BASES[2], self.profile.cold_region_kb * 1024),
+        ]
+        entries = [self._build_function() for _ in range(self.profile.num_funcs)]
+        self._build_dispatcher(entries)
+        prog.finalize()
+        return prog
+
+    # ----------------------------------------------------------- structure
+
+    def _build_dispatcher(self, func_entries: List[int]) -> None:
+        """Top-level infinite loop calling functions in a seeded hot order."""
+        rng = self._rng
+        # Call sequence: every function at least once, hot functions repeated.
+        seq = list(range(len(func_entries)))
+        extra = max(2, len(func_entries) // 2)
+        hot_funcs = seq[: max(1, len(seq) // 3)]
+        seq += [rng.choice(hot_funcs) for _ in range(extra)]
+        rng.shuffle(seq)
+
+        call_bids = [self._alloc_bid() for _ in seq]
+        loop_bid = self._alloc_bid()
+        self._program.entry = call_bids[0]
+
+        for i, fidx in enumerate(seq):
+            after = call_bids[i + 1] if i + 1 < len(seq) else loop_bid
+            block = BasicBlock(bid=call_bids[i])
+            block.instrs = self._gen_body(2, fp_ok=False)
+            block.instrs.append(
+                StaticInstr(
+                    sid=self._alloc_sid(), op=OpClass.BRANCH,
+                    srcs=(rng.choice(_INT_INVARIANT),),
+                    branch_kind=BranchKind.CALL,
+                    taken_target=func_entries[fidx], fall_target=after,
+                )
+            )
+            self._program.add_block(block)
+
+        back = BasicBlock(bid=loop_bid)
+        back.instrs = self._gen_body(1, fp_ok=False)
+        back.instrs.append(
+            StaticInstr(
+                sid=self._alloc_sid(), op=OpClass.BRANCH,
+                srcs=(rng.choice(_INT_INVARIANT),),
+                branch_kind=BranchKind.UNCOND, taken_target=call_bids[0],
+            )
+        )
+        self._program.add_block(back)
+
+    def _build_function(self) -> int:
+        """Build one function (outer loop + optional diamond/inner loop).
+
+        Returns the entry block id.
+        """
+        rng = self._rng
+        p = self.profile
+        n_blocks = rng.randint(*p.blocks_per_func)
+        want_diamond = rng.random() < p.diamond_prob
+        want_inner = rng.random() < p.inner_loop_prob
+
+        head_bid = self._alloc_bid()
+        bids: List[int] = [head_bid]
+        # Reserve ids so block PCs are laid out contiguously per function.
+        segments = n_blocks + (3 if want_diamond else 0) + (1 if want_inner else 0)
+        for _ in range(segments + 1):  # +1 for the exit/RET block
+            bids.append(self._alloc_bid())
+
+        cursor = 0
+
+        def next_bid() -> int:
+            nonlocal cursor
+            cursor += 1
+            return bids[cursor]
+
+        current = head_bid
+        # Plain body blocks before any structure.
+        for _ in range(max(1, n_blocks // 2)):
+            nxt = next_bid()
+            self._add_plain_block(current, nxt)
+            current = nxt
+
+        if want_diamond:
+            then_bid, else_bid, join_bid = next_bid(), next_bid(), next_bid()
+            self._add_diamond(current, then_bid, else_bid, join_bid)
+            current = join_bid
+
+        if want_inner:
+            after_bid = next_bid()
+            self._add_inner_loop(current, after_bid)
+            current = after_bid
+
+        # Remaining plain blocks up to the latch.
+        while cursor < len(bids) - 1:
+            nxt = next_bid()
+            self._add_plain_block(current, nxt)
+            current = nxt
+
+        # `current` is now the latch: loop back to head, else fall to exit.
+        exit_bid = self._alloc_bid()
+        latch = BasicBlock(bid=current)
+        latch.instrs = self._gen_body(self._block_len() - 1)
+        latch.instrs.append(
+            StaticInstr(
+                sid=self._alloc_sid(), op=OpClass.BRANCH,
+                srcs=(rng.choice(_INT_INVARIANT),),
+                branch_kind=BranchKind.COND,
+                branch=BranchSpec(loop_trip=rng.randint(*p.loop_trip)),
+                taken_target=head_bid, fall_target=exit_bid,
+            )
+        )
+        self._program.add_block(latch)
+
+        exit_block = BasicBlock(bid=exit_bid)
+        exit_block.instrs = self._gen_body(2)
+        exit_block.instrs.append(
+            StaticInstr(
+                sid=self._alloc_sid(), op=OpClass.BRANCH,
+                srcs=(rng.choice(_INT_INVARIANT),),
+                branch_kind=BranchKind.RET,
+            )
+        )
+        self._program.add_block(exit_block)
+        return head_bid
+
+    def _add_plain_block(self, bid: int, fall_bid: int) -> None:
+        block = BasicBlock(bid=bid, fall_block=fall_bid)
+        block.instrs = self._gen_body(self._block_len())
+        self._program.add_block(block)
+
+    def _add_diamond(self, cond_bid: int, then_bid: int, else_bid: int,
+                     join_bid: int) -> None:
+        """if/else diamond: cond jumps to `else`, falls into `then`."""
+        rng = self._rng
+        p = self.profile
+        if rng.random() < p.random_branch_frac:
+            prob = 0.5
+        else:
+            prob = p.biased_taken_prob if rng.random() < 0.5 else 1.0 - p.biased_taken_prob
+
+        cond = BasicBlock(bid=cond_bid)
+        cond.instrs = self._gen_body(self._block_len() - 1)
+        cond.instrs.append(
+            StaticInstr(
+                sid=self._alloc_sid(), op=OpClass.BRANCH,
+                srcs=self._pick_srcs(1, fp=False),
+                branch_kind=BranchKind.COND,
+                branch=BranchSpec(taken_prob=prob),
+                taken_target=else_bid, fall_target=then_bid,
+            )
+        )
+        self._program.add_block(cond)
+
+        then_block = BasicBlock(bid=then_bid)
+        then_block.instrs = self._gen_body(self._block_len() - 1)
+        then_block.instrs.append(
+            StaticInstr(
+                sid=self._alloc_sid(), op=OpClass.BRANCH,
+                srcs=(rng.choice(_INT_INVARIANT),),
+                branch_kind=BranchKind.UNCOND, taken_target=join_bid,
+            )
+        )
+        self._program.add_block(then_block)
+
+        else_block = BasicBlock(bid=else_bid, fall_block=join_bid)
+        else_block.instrs = self._gen_body(self._block_len())
+        self._program.add_block(else_block)
+        # The join block (`join_bid`) is *not* created here: the caller's
+        # next structural step (plain block, inner loop or latch) creates it,
+        # which keeps the "current bid is always un-created" invariant.
+
+    def _add_inner_loop(self, head_bid: int, after_bid: int) -> None:
+        rng = self._rng
+        p = self.profile
+        block = BasicBlock(bid=head_bid)
+        block.instrs = self._gen_body(self._block_len() - 1)
+        block.instrs.append(
+            StaticInstr(
+                sid=self._alloc_sid(), op=OpClass.BRANCH,
+                srcs=(rng.choice(_INT_INVARIANT),),
+                branch_kind=BranchKind.COND,
+                branch=BranchSpec(loop_trip=rng.randint(*p.loop_trip)),
+                taken_target=head_bid, fall_target=after_bid,
+            )
+        )
+        self._program.add_block(block)
+
+    # ------------------------------------------------------- instructions
+
+    def _block_len(self) -> int:
+        return self._rng.randint(*self.profile.instrs_per_block)
+
+    def _gen_body(self, count: int, fp_ok: bool = True) -> List[StaticInstr]:
+        """Generate `count` non-branch instructions."""
+        out: List[StaticInstr] = []
+        last_dest: Optional[int] = None
+        for _ in range(max(1, count)):
+            instr, last_dest = self._gen_instr(last_dest, fp_ok)
+            out.append(instr)
+        return out
+
+    def _gen_instr(self, last_dest: Optional[int],
+                   fp_ok: bool) -> Tuple[StaticInstr, Optional[int]]:
+        rng = self._rng
+        p = self.profile
+        u = rng.random()
+        fp = fp_ok and rng.random() < p.fp_frac
+
+        if p.acc_frac and rng.random() < p.acc_frac:
+            # Loop-carried accumulator update: a read-modify-write of a
+            # dedicated register. These recurrences make the Wake-Up/
+            # Select loop critical, as in real loop bodies (sums, indices,
+            # hash states) — the behaviour behind the paper's Fig. 2.
+            acc = rng.choice(_FP_ACCUM if fp else _INT_ACCUM)
+            op = OpClass.FP_ADD if fp else OpClass.INT_ALU
+            other = self._pick_srcs(1, fp=fp, last_dest=last_dest)
+            instr = StaticInstr(sid=self._alloc_sid(), op=op, dest=acc,
+                                srcs=(acc,) + other)
+            return instr, acc
+
+        if u < p.load_frac:
+            op = OpClass.LOAD
+        elif u < p.load_frac + p.store_frac:
+            op = OpClass.STORE
+        elif u < p.load_frac + p.store_frac + p.mul_frac:
+            op = OpClass.FP_MUL if fp else OpClass.INT_MUL
+        elif u < p.load_frac + p.store_frac + p.mul_frac + p.div_frac:
+            op = OpClass.FP_DIV if fp else OpClass.INT_DIV
+        else:
+            op = OpClass.FP_ADD if fp else OpClass.INT_ALU
+
+        mem = None
+        if op is OpClass.LOAD or op is OpClass.STORE:
+            mem = self._pick_memref()
+
+        if op is OpClass.STORE:
+            dest = None
+            srcs = self._pick_srcs(2, fp=fp, last_dest=last_dest)
+        elif op is OpClass.LOAD:
+            dest = self._pick_dest(fp)
+            srcs = (rng.choice(_FP_INVARIANT if fp else _INT_INVARIANT),)
+        else:
+            dest = self._pick_dest(fp)
+            srcs = self._pick_srcs(2, fp=fp, last_dest=last_dest)
+
+        instr = StaticInstr(
+            sid=self._alloc_sid(), op=op, dest=dest, srcs=srcs, mem=mem,
+        )
+        if dest is not None:
+            (self._recent_fp if fp else self._recent_int).append(dest)
+        return instr, dest
+
+    def _pick_dest(self, fp: bool) -> int:
+        rng = self._rng
+        if rng.random() < self.profile.hot_dest_bias:
+            return rng.choice(self._hot_fp if fp else self._hot_int)
+        if fp:
+            reg = _FP_GENERAL[self._dest_cursor_fp % len(_FP_GENERAL)]
+            self._dest_cursor_fp += 1
+        else:
+            reg = _INT_GENERAL[self._dest_cursor_int % len(_INT_GENERAL)]
+            self._dest_cursor_int += 1
+        return reg
+
+    def _pick_srcs(self, count: int, fp: bool,
+                   last_dest: Optional[int] = None) -> Tuple[int, ...]:
+        rng = self._rng
+        recent = self._recent_fp if fp else self._recent_int
+        invariant = _FP_INVARIANT if fp else _INT_INVARIANT
+        srcs = []
+        for _ in range(count):
+            if last_dest is not None and rng.random() < self.profile.serial_frac:
+                srcs.append(last_dest)
+            elif recent and rng.random() < 0.6:
+                srcs.append(rng.choice(tuple(recent)))
+            else:
+                srcs.append(rng.choice(invariant))
+        return tuple(srcs)
+
+    def _pick_memref(self) -> MemRef:
+        rng = self._rng
+        p = self.profile
+        u = rng.random()
+        if u < p.hot_frac:
+            region = _HOT_REGION
+        elif u < p.hot_frac + p.warm_frac:
+            region = _WARM_REGION
+        else:
+            region = _COLD_REGION
+        return MemRef(
+            region=region, stride=8,
+            random=rng.random() < p.random_access_frac,
+        )
+
+    # --------------------------------------------------------------- ids
+
+    def _alloc_sid(self) -> int:
+        sid = self._next_sid
+        self._next_sid += 1
+        return sid
+
+    def _alloc_bid(self) -> int:
+        bid = self._next_bid
+        self._next_bid += 1
+        return bid
+
+
+def generate_program(profile: WorkloadProfile,
+                     seed: Optional[int] = None) -> Program:
+    """Convenience wrapper: generate a finalized program for a profile."""
+    return ProgramGenerator(profile, seed=seed).build()

@@ -1,0 +1,102 @@
+"""Integration tests for the baseline out-of-order core."""
+
+import pytest
+
+from repro.core.baseline import BaselineCore
+from repro.core.config import CoreConfig
+from repro.workloads import InstructionStream, generate_program, get_profile
+
+
+def _run(name="smoke", config=None, n=5000, warmup=2000, seed=None):
+    prog = generate_program(get_profile(name), seed=seed)
+    core = BaselineCore(config or CoreConfig(), InstructionStream(prog))
+    stats = core.run(n, warmup=warmup)
+    return core, stats
+
+
+class TestBaselineProgress:
+    def test_commits_requested_instructions(self):
+        _core, stats = _run(n=3000)
+        assert stats.committed >= 3000
+
+    def test_ipc_in_sane_range(self):
+        _core, stats = _run(n=5000)
+        assert 0.1 < stats.ipc <= 4.0   # 4-wide commit bound
+
+    def test_deterministic(self):
+        _core1, s1 = _run(n=3000)
+        _core2, s2 = _run(n=3000)
+        assert s1.total_be_cycles == s2.total_be_cycles
+        assert s1.mispredicts == s2.mispredicts
+
+    def test_commit_bound_by_width(self):
+        _core, stats = _run(n=4000)
+        assert stats.committed <= stats.total_be_cycles * 4 + 4
+
+    def test_issue_bound_by_width(self):
+        _core, stats = _run(n=4000)
+        assert stats.issued <= stats.total_be_cycles * 6
+
+    def test_branch_stats_populated(self):
+        _core, stats = _run(n=5000)
+        assert stats.branches > 0
+        assert 0.0 <= stats.mispredict_rate < 0.5
+
+
+class TestBaselineStructures:
+    def test_machine_drains_cleanly(self):
+        core, _stats = _run(n=3000)
+        # The run stops mid-flight, but bounded structures never leak:
+        assert len(core.rob) <= core.config.rob_entries
+        assert len(core.iw) <= core.config.iw_entries
+        assert len(core.lsq) <= core.config.lsq_entries
+
+    def test_power_events_counted(self):
+        _core, stats = _run(n=3000)
+        for event in ("icache_access", "decode_op", "rename_op", "iw_write",
+                      "iw_select", "rob_write", "fu_op"):
+            assert stats.events[event] > 0, event
+
+    def test_caches_see_traffic(self):
+        core, _stats = _run(n=5000)
+        assert core.hierarchy.l1i.stats.accesses > 0
+        assert core.hierarchy.l1d.stats.accesses > 0
+
+
+class TestFig2Variants:
+    """The pipeline-loop experiments must order as the paper says."""
+
+    def test_extra_frontend_stage_costs_little(self):
+        _b, base = _run("gcc", n=8000)
+        _f, fe = _run("gcc", config=CoreConfig(extra_frontend_stages=1),
+                      n=8000)
+        loss = 1.0 - fe.ipc / base.ipc
+        assert loss < 0.12
+
+    def test_pipelined_wakeup_costs_much_more(self):
+        _b, base = _run("gcc", n=8000)
+        _f, fe = _run("gcc", config=CoreConfig(extra_frontend_stages=1),
+                      n=8000)
+        _w, ws = _run("gcc", config=CoreConfig(wakeup_extra_delay=1),
+                      n=8000)
+        fe_loss = 1.0 - fe.ipc / base.ipc
+        ws_loss = 1.0 - ws.ipc / base.ipc
+        assert ws_loss > fe_loss
+        assert ws_loss > 0.02
+
+    def test_memory_scale_slows_execution(self):
+        prog = generate_program(get_profile("gcc"))
+        c1 = BaselineCore(CoreConfig(), InstructionStream(prog))
+        s1 = c1.run(8000, warmup=2000)
+        prog2 = generate_program(get_profile("gcc"))
+        c2 = BaselineCore(CoreConfig(), InstructionStream(prog2),
+                          mem_scale=2.0)
+        s2 = c2.run(8000, warmup=2000)
+        assert s2.total_be_cycles >= s1.total_be_cycles
+
+
+class TestAcrossBenchmarks:
+    @pytest.mark.parametrize("bench", ["ijpeg", "gcc", "vpr", "mesa"])
+    def test_runs_to_completion(self, bench):
+        _core, stats = _run(bench, n=3000, warmup=1000)
+        assert stats.committed >= 3000

@@ -1,0 +1,127 @@
+"""Unit tests for gshare/BTB/RAS branch prediction."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.frontend.bpred import (
+    BPredConfig,
+    BranchPredictor,
+    BTB,
+    GShare,
+    ReturnStack,
+)
+from repro.isa import BranchKind, DynInstr, OpClass
+
+
+def _branch(pc, taken, target=0x2000, kind=BranchKind.COND, seq=0,
+            fall=None):
+    return DynInstr(seq=seq, pc=pc, op=OpClass.BRANCH, dest=None, srcs=(),
+                    sid=0, branch_kind=kind, taken=taken, target_pc=target,
+                    fall_pc=fall if fall is not None else pc + 4)
+
+
+class TestGShare:
+    def test_learns_always_taken(self):
+        g = GShare(BPredConfig())
+        for _ in range(8):
+            g.update(0x100, True)
+        assert g.predict(0x100)
+
+    def test_learns_never_taken(self):
+        g = GShare(BPredConfig())
+        for _ in range(8):
+            g.update(0x100, False)
+        assert not g.predict(0x100)
+
+    def test_learns_alternating_with_history(self):
+        """Global history disambiguates a strict alternation."""
+        g = GShare(BPredConfig())
+        outcome = True
+        for _ in range(2000):
+            g.update(0x100, outcome)
+            outcome = not outcome
+        correct = 0
+        for _ in range(200):
+            if g.predict(0x100) == outcome:
+                correct += 1
+            g.update(0x100, outcome)
+            outcome = not outcome
+        assert correct > 180
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BTB(BPredConfig())
+        assert btb.lookup(0x100) is None
+        btb.update(0x100, 0x500)
+        assert btb.lookup(0x100) == 0x500
+
+    def test_lru_within_set(self):
+        cfg = BPredConfig(btb_entries=8, btb_ways=2)
+        btb = BTB(cfg)
+        sets = cfg.btb_entries // cfg.btb_ways
+        a, b, c = 0x100, 0x100 + 4 * sets, 0x100 + 8 * sets  # same set
+        btb.update(a, 1)
+        btb.update(b, 2)
+        btb.lookup(a)
+        btb.update(c, 3)     # evicts b
+        assert btb.lookup(a) == 1
+        assert btb.lookup(b) is None
+
+
+class TestRAS:
+    def test_push_pop(self):
+        ras = ReturnStack(4)
+        ras.push(0x10)
+        ras.push(0x20)
+        assert ras.pop() == 0x20
+        assert ras.pop() == 0x10
+        assert ras.pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+
+class TestBranchPredictor:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            BPredConfig(pht_entries=1000)
+
+    def test_biased_branch_converges(self):
+        bp = BranchPredictor()
+        wrong = sum(not bp.predict(_branch(0x100, True, seq=i))
+                    for i in range(50))
+        assert wrong <= 3   # first misses: direction learn + BTB fill
+
+    def test_call_return_pair(self):
+        bp = BranchPredictor()
+        call = _branch(0x100, True, target=0x1000, kind=BranchKind.CALL,
+                       fall=0x104)
+        bp.predict(call)
+        ret = _branch(0x1100, True, target=0x104, kind=BranchKind.RET)
+        assert bp.predict(ret)
+
+    def test_return_without_call_mispredicts(self):
+        bp = BranchPredictor()
+        ret = _branch(0x1100, True, target=0x104, kind=BranchKind.RET)
+        assert not bp.predict(ret)
+
+    def test_btb_miss_on_taken_counts(self):
+        bp = BranchPredictor()
+        br = _branch(0x300, True, target=0x900, kind=BranchKind.UNCOND)
+        assert not bp.predict(br)          # BTB cold
+        assert bp.predict(br)              # BTB now knows the target
+        assert bp.stats.btb_misses == 1
+
+    def test_mispredict_rate_counter(self):
+        bp = BranchPredictor()
+        for i in range(10):
+            bp.predict(_branch(0x100 + 8 * i, True))
+        assert 0.0 <= bp.stats.mispredict_rate <= 1.0
+        assert bp.stats.lookups == 10

@@ -1,0 +1,123 @@
+"""Unit + property tests for the multi-clock-domain kernel."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks import ClockDomain, SyncFifo, TickScheduler, mhz_to_period_ps
+from repro.errors import ConfigError
+
+
+class TestClockDomain:
+    def test_period(self):
+        assert mhz_to_period_ps(1000.0) == 1000
+        assert mhz_to_period_ps(2000.0) == 500
+
+    def test_bad_frequency(self):
+        with pytest.raises(ConfigError):
+            mhz_to_period_ps(0)
+
+    def test_advance(self):
+        dom = ClockDomain("d", 1000.0)
+        assert dom.advance() == 0
+        assert dom.advance() == 1000
+        assert dom.cycles == 2
+
+    def test_set_frequency_monotonic(self):
+        dom = ClockDomain("d", 1000.0)
+        dom.advance()
+        dom.set_frequency(2000.0, now_ps=1500)
+        t = dom.advance()
+        assert t >= 1000
+        assert dom.period_ps == 500
+
+
+class TestScheduler:
+    def test_needs_domains(self):
+        with pytest.raises(ConfigError):
+            TickScheduler([])
+
+    def test_interleaving_2x(self):
+        fast = ClockDomain("fast", 2000.0)
+        slow = ClockDomain("slow", 1000.0)
+        sched = TickScheduler([fast, slow])
+        order = [sched.next_event()[1].name for _ in range(6)]
+        # fast ticks twice per slow tick (ties go to list order)
+        assert order.count("fast") == 4
+        assert order.count("slow") == 2
+
+    def test_time_never_decreases(self):
+        a = ClockDomain("a", 1300.0)
+        b = ClockDomain("b", 950.0)
+        sched = TickScheduler([a, b])
+        last = -1
+        for _ in range(200):
+            t, _dom = sched.next_event()
+            assert t >= last
+            last = t
+
+
+@settings(max_examples=30, deadline=None)
+@given(fa=st.floats(min_value=100, max_value=5000),
+       fb=st.floats(min_value=100, max_value=5000))
+def test_scheduler_tick_ratio(fa, fb):
+    """Over a long window, tick counts are proportional to frequencies."""
+    a = ClockDomain("a", fa)
+    b = ClockDomain("b", fb)
+    sched = TickScheduler([a, b])
+    horizon = 2_000_000  # 2 us
+    while sched.now_ps < horizon:
+        sched.next_event()
+    expect_a = horizon / a.period_ps
+    expect_b = horizon / b.period_ps
+    assert a.cycles == pytest.approx(expect_a, rel=0.02)
+    assert b.cycles == pytest.approx(expect_b, rel=0.02)
+
+
+class TestSyncFifo:
+    def test_latency_gates_visibility(self):
+        fifo = SyncFifo("f")
+        fifo.push("x", now_ps=0, latency_ps=100)
+        assert fifo.peek_ready(50) is None
+        assert fifo.peek_ready(100) == "x"
+
+    def test_fifo_order(self):
+        fifo = SyncFifo("f")
+        for i in range(5):
+            fifo.push(i, now_ps=i, latency_ps=10)
+        assert fifo.pop_ready(100) == [0, 1, 2, 3, 4]
+
+    def test_capacity_backpressure(self):
+        fifo = SyncFifo("f", capacity=2)
+        assert fifo.push(1, 0, 10)
+        assert fifo.push(2, 0, 10)
+        assert not fifo.push(3, 0, 10)
+        fifo.pop_ready(100)
+        assert fifo.push(3, 100, 10)
+
+    def test_pop_limit(self):
+        fifo = SyncFifo("f")
+        for i in range(5):
+            fifo.push(i, 0, 0)
+        assert fifo.pop_ready(0, limit=2) == [0, 1]
+        assert len(fifo) == 3
+
+    def test_clear(self):
+        fifo = SyncFifo("f")
+        fifo.push(1, 0, 0)
+        fifo.clear()
+        assert fifo.pop_ready(10) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(items=st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 500)),
+                      min_size=1, max_size=50))
+def test_sync_fifo_never_reorders(items):
+    """Entries mature in push order regardless of latencies."""
+    fifo = SyncFifo("f")
+    now = 0
+    for i, (dt, lat) in enumerate(items):
+        now += dt
+        fifo.push(i, now, lat)
+    out = fifo.pop_ready(now + 1000)
+    assert out == sorted(out)
+    assert len(out) == len(items)

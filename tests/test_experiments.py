@@ -1,0 +1,81 @@
+"""Smoke tests for the experiment harness (small budgets)."""
+
+import pytest
+
+from repro.experiments import ExperimentContext, geomean
+from repro.experiments import (
+    fig01_latency,
+    fig02_loops,
+    fig11_same_clock,
+    fig12_performance,
+    residency,
+    table1_freq,
+)
+
+#: Small, shared context — smoke-level budgets, two contrasting benchmarks.
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(instructions=6000, warmup=10000,
+                             benchmarks=("ijpeg", "gcc"))
+
+
+class TestAnalyticalExperiments:
+    def test_fig1_rows(self):
+        rows = fig01_latency.run(None)
+        assert len(rows) == 6
+        for row in rows:
+            assert row["0.25um"] > row["0.06um"]
+
+    def test_table1_rows(self):
+        rows = table1_freq.run(None)
+        assert len(rows) == 6
+        for row in rows:
+            assert row["0.06um"] > row["0.18um"]
+
+
+class TestSimulationExperiments:
+    def test_fig2(self, ctx):
+        rows = fig02_loops.run(ctx)
+        avg = rows[-1]
+        assert avg["benchmark"] == "average"
+        assert avg["wakeup_select_%"] > avg["fetch_mispredict_%"]
+
+    def test_fig11(self, ctx):
+        rows = fig11_same_clock.run(ctx)
+        for row in rows:
+            assert 0.1 < row["register_allocation"] < 2.0
+            assert 0.1 < row["flywheel"] < 2.0
+
+    def test_fig12_sweep_monotone_on_loopy_bench(self, ctx):
+        rows = fig12_performance.run(ctx)
+        ij = next(r for r in rows if r["benchmark"] == "ijpeg")
+        # More front-end clock never makes ijpeg dramatically worse.
+        assert ij["FE100%,BE50%"] > 0.5 * ij["FE0%,BE50%"]
+
+    def test_residency(self, ctx):
+        rows = residency.run(ctx)
+        for row in rows[:-1]:
+            assert 0.0 <= row["ec_residency_%"] <= 100.0
+
+
+class TestHelpers:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+
+    def test_context_caches_runs(self, ctx):
+        r1 = ctx.baseline("ijpeg")
+        r2 = ctx.baseline("ijpeg")
+        assert r1 is r2
+
+
+class TestSensitivity:
+    def test_iw_sweep_shapes(self, ctx):
+        from repro.experiments import sensitivity
+        rows = sensitivity.run(ctx)
+        avg = rows[-1]
+        # IPC can only improve (weakly) with a larger window...
+        assert avg["ipc_32"] <= avg["ipc_128"] * 1.02
+        # ...but the permitted clock falls, so clock-adjusted performance
+        # of the large window is below the small one's on these workloads.
+        assert avg["perf_256"] < avg["perf_128"] < avg["perf_32"]

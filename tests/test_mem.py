@@ -1,0 +1,132 @@
+"""Unit + property tests for the cache model and hierarchy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.mem import Cache, MemoryConfig, MemoryHierarchy
+
+
+class TestCacheGeometry:
+    def test_bad_ways(self):
+        with pytest.raises(ConfigError):
+            Cache("c", 1024, 0)
+
+    def test_bad_line(self):
+        with pytest.raises(ConfigError):
+            Cache("c", 1024, 2, line_bytes=33)
+
+    def test_indivisible_size(self):
+        with pytest.raises(ConfigError):
+            Cache("c", 1000, 2, line_bytes=32)
+
+    def test_set_count(self):
+        cache = Cache("c", 64 * 1024, 2, line_bytes=32)
+        assert cache.num_sets == 1024
+
+
+class TestCacheBehaviour:
+    def test_miss_then_hit(self):
+        cache = Cache("c", 1024, 2, line_bytes=32)
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+
+    def test_same_line_hits(self):
+        cache = Cache("c", 1024, 2, line_bytes=32)
+        cache.access(0x100)
+        assert cache.access(0x11F)   # same 32B line
+        assert not cache.access(0x120)  # next line
+
+    def test_lru_eviction(self):
+        # 2-way: two distinct tags fit, a third evicts the least recent.
+        cache = Cache("c", 64, 2, line_bytes=32)  # 1 set, 2 ways
+        cache.access(0x0)      # A
+        cache.access(0x1000)   # B
+        cache.access(0x0)      # touch A (B becomes LRU)
+        cache.access(0x2000)   # C evicts B
+        assert cache.access(0x0)
+        assert not cache.access(0x1000)
+
+    def test_flush(self):
+        cache = Cache("c", 1024, 2)
+        cache.access(0x40)
+        cache.flush()
+        assert not cache.probe(0x40)
+
+    def test_probe_does_not_count(self):
+        cache = Cache("c", 1024, 2)
+        cache.access(0x40)
+        before = cache.stats.accesses
+        cache.probe(0x40)
+        assert cache.stats.accesses == before
+
+    def test_stats(self):
+        cache = Cache("c", 1024, 2)
+        cache.access(0x40)
+        cache.access(0x40)
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                      min_size=1, max_size=200))
+def test_cache_occupancy_bounded(addrs):
+    """Lines resident never exceed ways x sets; re-access always hits."""
+    cache = Cache("c", 2048, 2, line_bytes=32)
+    for addr in addrs:
+        cache.access(addr)
+    resident = sum(len(s) for s in cache._sets)
+    assert resident <= cache.num_sets * cache.ways
+    # Re-touching the most recent address must hit.
+    assert cache.access(addrs[-1])
+
+
+@settings(max_examples=30, deadline=None)
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 16),
+                      min_size=1, max_size=100))
+def test_small_working_set_never_evicts(addrs):
+    """A working set smaller than the cache has no capacity misses."""
+    cache = Cache("c", 1 << 20, 4, line_bytes=32)   # 1MB
+    for addr in addrs:
+        cache.access(addr)
+    assert cache.stats.evictions == 0
+    for addr in addrs:
+        assert cache.access(addr)
+
+
+class TestHierarchy:
+    def test_latency_ordering(self):
+        h = MemoryHierarchy(MemoryConfig())
+        cold = h.load(0x10000)
+        warm = h.load(0x10000)
+        assert cold > warm
+        assert warm == h.config.l1_latency
+
+    def test_l2_hit_latency(self):
+        h = MemoryHierarchy(MemoryConfig())
+        h.load(0x40)                       # fill L1 + L2
+        # Evict from tiny... instead use a fresh hierarchy and touch via l2
+        h2 = MemoryHierarchy(MemoryConfig())
+        h2.l2.access(0x40)                 # resident only in L2
+        lat = h2.load(0x40)
+        assert lat == h2.config.l1_latency + h2.config.l2_latency
+
+    def test_mem_scale_inflates_dram(self):
+        h = MemoryHierarchy(MemoryConfig())
+        slow = h.load(0x999000, mem_scale=1.0)
+        h.flush()
+        fast = h.load(0x999000, mem_scale=1.5)
+        assert fast == slow + round(0.5 * h.config.dram_latency)
+
+    def test_ifetch_separate_from_data(self):
+        h = MemoryHierarchy(MemoryConfig())
+        h.ifetch(0x40)
+        assert h.l1i.stats.accesses == 1
+        assert h.l1d.stats.accesses == 0
+
+    def test_store_write_allocates(self):
+        h = MemoryHierarchy(MemoryConfig())
+        h.store(0x40)
+        assert h.load(0x40) == h.config.l1_latency

@@ -1,0 +1,283 @@
+"""Unit + property tests for both renaming schemes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, SimulationError
+from repro.isa import DynInstr, OpClass
+from repro.isa.registers import NUM_ARCH_REGS
+from repro.rename.pools import PoolFile
+from repro.rename.r10k import R10KRenamer
+from repro.rename.redistribution import RedistributionController
+from repro.rename.two_phase import TwoPhaseRenamer
+
+
+def _instr(seq, dest=None, srcs=()):
+    return DynInstr(seq=seq, pc=seq * 4, op=OpClass.INT_ALU, dest=dest,
+                    srcs=tuple(srcs), sid=seq)
+
+
+class TestR10K:
+    def test_too_small(self):
+        with pytest.raises(ConfigError):
+            R10KRenamer(32)
+
+    def test_rename_allocates_fresh_tag(self):
+        r = R10KRenamer(192)
+        a = _instr(0, dest=5)
+        r.rename(a)
+        b = _instr(1, dest=5, srcs=[5])
+        r.rename(b)
+        assert b.src_tags == (a.dest_tag,)
+        assert b.dest_tag != a.dest_tag
+
+    def test_zero_reg_not_renamed(self):
+        r = R10KRenamer(192)
+        a = _instr(0, dest=0)
+        r.rename(a)
+        assert a.dest_tag == -1
+
+    def test_free_list_recycles(self):
+        r = R10KRenamer(192)
+        start = r.free_count
+        instrs = []
+        for i in range(10):
+            d = _instr(i, dest=4)
+            r.rename(d)
+            instrs.append(d)
+        assert r.free_count == start - 10
+        for d in instrs:
+            r.commit(d)
+        # Every commit freed one previous mapping (including the identity
+        # tag of the first write), so the pool is back to its start size
+        # with the one live mapping occupying a former rename register.
+        assert r.free_count == start
+
+    def test_exhaustion(self):
+        r = R10KRenamer(70)   # only 6 rename regs
+        for i in range(6):
+            assert r.can_rename(True)
+            r.rename(_instr(i, dest=1))
+        assert not r.can_rename(True)
+        assert r.can_rename(False)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dests=st.lists(st.integers(1, 63), min_size=1, max_size=100))
+def test_r10k_no_tag_aliasing(dests):
+    """All live (un-committed) destination tags are distinct."""
+    r = R10KRenamer(256)
+    live = []
+    for i, d in enumerate(dests):
+        if not r.can_rename(True):
+            break
+        dyn = _instr(i, dest=d)
+        r.rename(dyn)
+        live.append(dyn.dest_tag)
+    assert len(set(live)) == len(live)
+
+
+class TestPoolFile:
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            PoolFile(500, 8)   # 500 not divisible by 64
+
+    def test_capacity_rule(self):
+        pools = PoolFile(512, 8)
+        for _ in range(7):
+            assert pools.can_allocate(5)
+            pools.allocate(5)
+        assert not pools.can_allocate(5)
+        pools.retire(5)
+        assert pools.can_allocate(5)
+
+    def test_underflow_guard(self):
+        pools = PoolFile(512, 8)
+        with pytest.raises(SimulationError):
+            pools.retire(3)
+
+    def test_phys_mapping_within_pool(self):
+        pools = PoolFile(512, 8)
+        for arch in range(NUM_ARCH_REGS):
+            for slot in range(20):
+                p = pools.phys(arch, slot)
+                assert pools.bases[arch] <= p < pools.bases[arch] + pools.sizes[arch]
+
+    def test_apply_sizes_requires_drained(self):
+        pools = PoolFile(512, 8)
+        pools.allocate(1)
+        with pytest.raises(SimulationError):
+            pools.apply_sizes([8] * NUM_ARCH_REGS)
+
+    def test_apply_sizes_budget(self):
+        pools = PoolFile(512, 8)
+        with pytest.raises(ConfigError):
+            pools.apply_sizes([9] * NUM_ARCH_REGS)
+
+
+@settings(max_examples=20, deadline=None)
+@given(grow=st.lists(st.tuples(st.integers(0, 63), st.integers(0, 63)),
+                     min_size=0, max_size=40))
+def test_pool_phys_disjoint_across_registers(grow):
+    """Pools never overlap in the physical file, whatever the geometry."""
+    pools = PoolFile(512, 8, min_pool_size=2, max_pool_size=32)
+    sizes = list(pools.sizes)
+    for winner, loser in grow:   # move one entry at a time, budget-neutral
+        if winner != loser and sizes[winner] < 32 and sizes[loser] > 2:
+            sizes[winner] += 1
+            sizes[loser] -= 1
+    pools.apply_sizes(sizes)
+    seen = set()
+    for arch in range(NUM_ARCH_REGS):
+        for slot in range(pools.sizes[arch]):
+            p = pools.phys(arch, slot)
+            assert p not in seen
+            seen.add(p)
+    assert len(seen) == 512
+
+
+class TestTwoPhase:
+    def test_lid_sequence(self):
+        pools = PoolFile(512, 8)
+        rn = TwoPhaseRenamer(pools)
+        a = _instr(0, dest=5)
+        rn.rename(a)
+        b = _instr(1, dest=5, srcs=[5])
+        rn.rename(b)
+        assert a.dest_lid == 1
+        assert b.src_lids == (1,)    # reads the latest write
+        assert b.dest_lid == 2
+
+    def test_reset_lids(self):
+        pools = PoolFile(512, 8)
+        rn = TwoPhaseRenamer(pools)
+        rn.rename(_instr(0, dest=5))
+        rn.reset_lids()
+        c = _instr(1, srcs=[5])
+        rn.rename(c)
+        assert c.src_lids == (0,)   # now refers to the committed value
+
+    def test_update_maps_into_pool(self):
+        pools = PoolFile(512, 8)
+        rn = TwoPhaseRenamer(pools)
+        a = _instr(0, dest=5)
+        rn.rename(a)
+        rn.update(a, trace_id=0)
+        assert pools.bases[5] <= a.dest_tag < pools.bases[5] + pools.sizes[5]
+
+    def test_producer_consumer_same_phys(self):
+        pools = PoolFile(512, 8)
+        rn = TwoPhaseRenamer(pools)
+        a = _instr(0, dest=7)
+        rn.rename(a)
+        b = _instr(1, srcs=[7])
+        rn.rename(b)
+        rn.update(a, 0)
+        rn.update(b, 0)
+        assert b.src_tags == (a.dest_tag,)
+
+    def test_frt_checkpoint_rebases_lid0(self):
+        """After retirement + checkpoint, LID 0 maps to the last value."""
+        pools = PoolFile(512, 8)
+        rn = TwoPhaseRenamer(pools)
+        a = _instr(0, dest=5)
+        rn.rename(a)
+        rn.update(a, 0)
+        rn.retire(a)
+        rn.checkpoint_from_frt()
+        c = _instr(1, srcs=[5])
+        rn.rename(c)
+        rn.update(c, 1)
+        assert c.src_tags == (a.dest_tag,)
+
+    def test_srt_checkpoint_rebases_before_retire(self):
+        """The SRT swap points LID 0 at the newest *updated* mapping."""
+        pools = PoolFile(512, 8)
+        rn = TwoPhaseRenamer(pools)
+        a = _instr(0, dest=5)
+        rn.rename(a)
+        rn.update(a, trace_id=0)
+        rn.checkpoint_from_srt()      # a has not retired yet
+        rn.reset_lids()
+        c = _instr(1, srcs=[5])
+        rn.rename(c)
+        rn.update(c, 1)
+        assert c.src_tags == (a.dest_tag,)
+
+    def test_srt_trace_guard(self):
+        """An older trace's instruction cannot clobber a newer SRT entry."""
+        pools = PoolFile(512, 8)
+        rn = TwoPhaseRenamer(pools)
+        new = _instr(0, dest=5)
+        rn.rename(new)
+        rn.update(new, trace_id=5)
+        old = _instr(1, dest=5)
+        old.dest_lid = 1
+        old.src_lids = ()
+        rn.update(old, trace_id=3)    # older trace
+        rn.checkpoint_from_srt()
+        probe = _instr(2, srcs=[5])
+        rn.rename(probe)
+        rn.update(probe, 6)
+        assert probe.src_tags == (new.dest_tag,)
+
+
+@settings(max_examples=20, deadline=None)
+@given(writes=st.lists(st.integers(1, 63), min_size=1, max_size=60))
+def test_two_phase_inflight_tags_distinct(writes):
+    """Distinct in-flight writes never share a physical register."""
+    pools = PoolFile(512, 8)
+    rn = TwoPhaseRenamer(pools)
+    live = []
+    for i, arch in enumerate(writes):
+        dyn = _instr(i, dest=arch)
+        if not rn.can_rename_dest(dyn):
+            continue
+        rn.rename(dyn)
+        rn.update(dyn, 0)
+        live.append(dyn.dest_tag)
+    assert len(set(live)) == len(live)
+
+
+class TestRedistribution:
+    def test_no_stalls_no_change(self):
+        pools = PoolFile(512, 8)
+        ctl = RedistributionController(pools, interval=100, penalty=10)
+        assert ctl.check(100) is None
+
+    def test_bottleneck_grows(self):
+        pools = PoolFile(512, 8)
+        ctl = RedistributionController(pools, interval=100, penalty=10)
+        for _ in range(100):
+            pools.note_stall(5)
+        sizes = ctl.check(100)
+        assert sizes is not None
+        assert sizes[5] > 8
+        assert sum(sizes) == 512
+
+    def test_counters_reset_after_check(self):
+        pools = PoolFile(512, 8)
+        ctl = RedistributionController(pools, interval=100, penalty=10)
+        for _ in range(100):
+            pools.note_stall(5)
+        ctl.check(100)
+        assert pools.stall_counts[5] == 0
+
+    def test_backoff(self):
+        pools = PoolFile(512, 8)
+        ctl = RedistributionController(pools, interval=100, penalty=10)
+        for _ in range(100):
+            pools.note_stall(5)
+        assert ctl.check(100) is not None
+        assert ctl.interval == 200
+
+    def test_sizes_within_bounds(self):
+        pools = PoolFile(512, 8, min_pool_size=2, max_pool_size=32)
+        ctl = RedistributionController(pools, interval=100, penalty=10)
+        for arch in (1, 2, 3):
+            for _ in range(500):
+                pools.note_stall(arch)
+        sizes = ctl.check(100)
+        assert sizes is not None
+        for s in sizes:
+            assert 2 <= s <= 32
