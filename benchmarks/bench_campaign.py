@@ -1,0 +1,49 @@
+"""Campaign-engine benchmarks (not a paper figure).
+
+Measures what the subsystem is for: cold campaign wall-time vs a warm
+(fully cached) rerun, and the ``--jobs 1`` vs ``--jobs 4`` fan-out
+speedup on the same job list. Uses the shared harness budgets from
+``conftest.py``; the warm rerun should be orders of magnitude faster
+than cold, and the parallel run should beat serial on any multi-core
+machine (pytest-benchmark prints the ratios).
+"""
+
+import pytest
+
+from repro.campaign import ResultStore, Sweep, run_campaign
+from repro.core.config import ClockPlan
+
+from conftest import BENCH_INSTRUCTIONS, BENCH_WARMUP, once
+
+#: A small but real campaign: both cores on two contrasting benchmarks
+#: under two clock plans (6 deduplicated jobs).
+_SWEEP = Sweep(
+    benchmarks=("ijpeg", "gcc"),
+    clocks=(ClockPlan(), ClockPlan(fe_speedup=0.5, be_speedup=0.5)),
+    instructions=BENCH_INSTRUCTIONS,
+    warmup=BENCH_WARMUP,
+)
+
+
+@pytest.fixture()
+def jobs():
+    return _SWEEP.expand()
+
+
+def test_campaign_cold_jobs1(benchmark, jobs, tmp_path):
+    report = once(benchmark, lambda: run_campaign(
+        jobs, store=ResultStore(tmp_path), jobs=1))
+    assert report.executed == len(jobs)
+
+
+def test_campaign_cold_jobs4(benchmark, jobs, tmp_path):
+    report = once(benchmark, lambda: run_campaign(
+        jobs, store=ResultStore(tmp_path), jobs=4))
+    assert report.executed == len(jobs)
+
+
+def test_campaign_warm(benchmark, jobs, tmp_path):
+    run_campaign(jobs, store=ResultStore(tmp_path), jobs=4)  # prime
+    report = once(benchmark, lambda: run_campaign(
+        jobs, store=ResultStore(tmp_path), jobs=4))
+    assert (report.hits, report.executed) == (len(jobs), 0)

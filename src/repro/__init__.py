@@ -14,8 +14,28 @@ Quick start::
     fly = run_flywheel("gcc", clock=ClockPlan(fe_speedup=0.5,
                                               be_speedup=0.5))
     print(base.stats.ipc, fly.stats.ec_residency)
+
+Campaigns — batch a sweep across worker processes with persistent,
+content-addressed memoization (repeat runs are near-instant)::
+
+    from repro import ClockPlan
+    from repro.campaign import ResultStore, Sweep, run_campaign
+
+    sweep = Sweep(benchmarks=("gcc", "gzip"),
+                  clocks=(ClockPlan(fe_speedup=0.5, be_speedup=0.5),),
+                  seeds=(1, 2, 3))
+    jobs = sweep.expand()
+    report = run_campaign(jobs, store=ResultStore(), jobs=4)
+    print(report.summary())
+    fly_gcc = [j for j in jobs
+               if j.kind == "flywheel" and j.bench == "gcc"]
+    print([report.result_for(j).ipc for j in fly_gcc])
+
+or from the shell: ``python -m repro.campaign run --experiments all
+--jobs 4`` (see also ``ls`` / ``export --csv`` / ``clean``).
 """
 
+from repro.campaign import ResultStore, RunSpec, Sweep, run_campaign
 from repro.core import (
     BaselineCore,
     ClockPlan,
@@ -27,7 +47,13 @@ from repro.core import (
     run_baseline,
     run_flywheel,
 )
-from repro.errors import ConfigError, ReproError, SimulationError, WorkloadError
+from repro.errors import (
+    CampaignError,
+    ConfigError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
 from repro.power import energy_report
 from repro.workloads import (
     PROFILES,
@@ -55,7 +81,12 @@ __all__ = [
     "WorkloadProfile",
     "generate_program",
     "get_profile",
+    "ResultStore",
+    "RunSpec",
+    "Sweep",
+    "run_campaign",
     "ReproError",
+    "CampaignError",
     "ConfigError",
     "WorkloadError",
     "SimulationError",

@@ -1,0 +1,50 @@
+"""Parallel campaign engine: declarative sweeps, multiprocess fan-out and
+a persistent, content-addressed result store.
+
+Pieces:
+
+* :class:`RunSpec` / :class:`Sweep` (``spec.py``) — declare simulations;
+  a sweep expands benchmarks × clock plans × config overrides × seeds
+  into a deduplicated job list, each job content-addressed by
+  :meth:`RunSpec.cache_key` (config + workload + budgets + code version).
+* :func:`run_campaign` (``executor.py``) — execute a job list with
+  ``jobs`` worker processes, per-job timeout and progress reporting.
+* :class:`ResultStore` (``store.py``) — on-disk JSON memo table keyed by
+  cache key, so repeated and overlapping campaigns are near-instant.
+* ``python -m repro.campaign`` (``__main__.py``) — ``run`` / ``ls`` /
+  ``clean`` / ``export --csv`` over the store.
+
+Example::
+
+    from repro.campaign import ResultStore, Sweep, run_campaign
+    from repro import ClockPlan
+
+    sweep = Sweep(benchmarks=("gcc", "gzip"),
+                  clocks=(ClockPlan(fe_speedup=0.5, be_speedup=0.5),),
+                  seeds=(1, 2, 3))
+    report = run_campaign(sweep.expand(), store=ResultStore(), jobs=4)
+    print(report.summary())
+
+``presets.py`` (imported lazily to avoid a cycle with the experiment
+modules) enumerates the job lists behind the paper's figures.
+"""
+
+from repro.campaign.executor import (
+    CampaignReport,
+    print_progress,
+    run_campaign,
+)
+from repro.campaign.spec import RunSpec, Sweep, code_fingerprint, dedup
+from repro.campaign.store import ResultStore, default_store_root
+
+__all__ = [
+    "CampaignReport",
+    "ResultStore",
+    "RunSpec",
+    "Sweep",
+    "code_fingerprint",
+    "dedup",
+    "default_store_root",
+    "print_progress",
+    "run_campaign",
+]

@@ -1,0 +1,227 @@
+"""CLI for the campaign engine: run, inspect and manage the result store.
+
+Usage::
+
+    python -m repro.campaign run --experiments all --jobs 4
+    python -m repro.campaign run --experiments fig12,fig13 --seed 7
+    python -m repro.campaign ls [--limit 20]
+    python -m repro.campaign export --csv results.csv
+    python -m repro.campaign clean [--stale]
+
+``run`` expands the named experiments into a deduplicated job list,
+executes the misses in parallel, memoizes everything in the store, and
+then prints the experiments' tables from the warmed cache. A repeated
+``run`` resolves entirely from the store (the summary line reports the
+hit/miss counters). The store lives at ``~/.cache/repro-campaign`` by
+default (``REPRO_CAMPAIGN_DIR`` or ``--store`` override it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+import time
+
+from repro.campaign.executor import print_progress
+from repro.campaign.spec import RunSpec
+from repro.campaign.store import ResultStore, default_store_root
+from repro.core.stats import SimStats
+from repro.errors import ReproError
+
+
+def _spec_variant(spec_payload) -> str:
+    """`k=v` summary of a stored spec's non-default config axes, or ''.
+
+    Best-effort: records from other code versions may not reconstruct.
+    """
+    try:
+        variant = RunSpec.from_dict(spec_payload).variant()
+    except Exception:
+        return ""
+    return ";".join(f"{k}={v}" for k, v in variant.items())
+
+
+def _add_store_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help=f"store directory (default: "
+                             f"{default_store_root()})")
+
+
+def _store(args) -> ResultStore:
+    return ResultStore(args.store) if args.store else ResultStore()
+
+
+def _cmd_run(args) -> int:
+    from repro.campaign.presets import experiment_specs
+    from repro.experiments.__main__ import (
+        ALL_ORDER,
+        build_context,
+        print_experiments,
+        warm_experiments,
+    )
+
+    # Unknown names raise CampaignError from experiment_specs (inside
+    # warm_experiments too) and are reported by main()'s handler.
+    names = (list(ALL_ORDER) if args.experiments == "all"
+             else [n.strip() for n in args.experiments.split(",") if n.strip()])
+    args.store = args.store or str(default_store_root())
+    ctx = build_context(args)
+    if args.dry_run:
+        specs = experiment_specs(names, benchmarks=ctx.benchmarks,
+                                 instructions=ctx.instructions,
+                                 warmup=ctx.warmup, seed=ctx.seed)
+        for spec in specs:
+            print(f"{spec.cache_key()[:12]}  {spec.label}")
+        print(f"{len(specs)} jobs", file=sys.stderr)
+        return 0
+
+    report = warm_experiments(ctx, names, jobs=args.jobs,
+                              timeout=args.timeout,
+                              progress=None if args.quiet else print_progress)
+    print(f"campaign: {report.summary()} "
+          f"(store: {ctx.store.hits} hits / {ctx.store.misses} misses)",
+          file=sys.stderr)
+
+    if not args.no_tables:
+        print_experiments(ctx, names)
+        if ctx.executed:
+            print(f"note: experiments ran {ctx.executed} simulation(s) the "
+                  "campaign presets missed", file=sys.stderr)
+    return 0
+
+
+def _cmd_ls(args) -> int:
+    store = _store(args)
+    shown = 0
+    for record in store.records():
+        try:
+            spec = record.get("spec", {})
+            stats = SimStats.from_dict(record["result"].get("stats", {}))
+            created = time.strftime("%Y-%m-%d %H:%M",
+                                    time.localtime(record.get("created", 0)))
+            variant = _spec_variant(spec)
+            print(f"{record.get('key', '?')[:12]}  {created}  "
+                  f"code={record.get('code', '?')}  "
+                  f"n={spec.get('instructions', '?')}  ipc={stats.ipc:5.2f}  "
+                  f"{spec.get('kind', '?')}/{spec.get('bench', '?')}"
+                  + (f"  [{variant}]" if variant else ""))
+        except (KeyError, TypeError, ValueError, AttributeError):
+            print(f"{record.get('key', '?')[:12]}  <damaged record>")
+        shown += 1
+        if args.limit and shown >= args.limit:
+            break
+    print(f"{shown} of {len(store)} record(s) in {store.root}",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_clean(args) -> int:
+    store = _store(args)
+    removed = store.clean(stale_only=args.stale)
+    what = "stale record(s)" if args.stale else "record(s)"
+    print(f"removed {removed} {what} from {store.root}")
+    return 0
+
+
+#: Flat columns exported per record: spec axes then headline stats.
+_EXPORT_SPEC = ("kind", "bench", "seed", "instructions", "warmup",
+                "mem_scale")
+_EXPORT_CLOCK = ("base_mhz", "fe_speedup", "be_speedup")
+_EXPORT_STATS = ("committed", "fetched", "issued", "be_cycles_create",
+                 "be_cycles_execute", "branches", "mispredicts",
+                 "traces_built", "trace_hits", "trace_misses",
+                 "instrs_from_ec", "sim_time_ps")
+
+
+def _cmd_export(args) -> int:
+    store = _store(args)
+    header = (["key", "created", "code"] + list(_EXPORT_SPEC)
+              + ["variant"] + list(_EXPORT_CLOCK) + list(_EXPORT_STATS)
+              + ["ipc", "l2_accesses"])
+    out = (open(args.csv, "w", newline="", encoding="utf-8")
+           if args.csv != "-" else sys.stdout)
+    try:
+        writer = csv.writer(out)
+        writer.writerow(header)
+        rows = 0
+        for record in store.records():
+            try:
+                spec, result = record.get("spec", {}), record["result"]
+                stats = result.get("stats", {})
+                # .get with blank cells: records written by other code
+                # versions may lack columns added since (or vice versa).
+                row = [record.get("key", ""), record.get("created", ""),
+                       record.get("code", "")]
+                row += [spec.get(c, "") for c in _EXPORT_SPEC]
+                row += [_spec_variant(spec)]
+                row += [spec.get("clock", {}).get(c, "")
+                        for c in _EXPORT_CLOCK]
+                row += [stats.get(c, "") for c in _EXPORT_STATS]
+                row += [SimStats.from_dict(stats).ipc,
+                        result.get("l2_accesses", "")]
+            except (KeyError, TypeError, ValueError, AttributeError):
+                continue        # damaged record: skip, don't abort the CSV
+            writer.writerow(row)
+            rows += 1
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    print(f"exported {rows} record(s)"
+          + ("" if args.csv == "-" else f" to {args.csv}"), file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    from repro.experiments.__main__ import add_run_flags
+
+    parser = argparse.ArgumentParser(
+        prog="repro.campaign",
+        description="Batch simulation campaigns with a persistent, "
+                    "content-addressed result cache.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute an experiment campaign")
+    p_run.add_argument("--experiments", default="all", metavar="A,B,...",
+                       help="experiments to cover (default: all)")
+    add_run_flags(p_run)  # --instructions/--warmup/--benchmarks/--seed/
+    #                       --jobs/--store/--timeout
+    p_run.add_argument("--dry-run", action="store_true",
+                       help="list the expanded job specs and exit")
+    p_run.add_argument("--no-tables", action="store_true",
+                       help="only warm the store; skip printing the tables")
+    p_run.add_argument("--quiet", action="store_true",
+                       help="suppress per-job progress lines")
+
+    p_ls = sub.add_parser("ls", help="list stored results")
+    _add_store_flag(p_ls)
+    p_ls.add_argument("--limit", type=int, default=40,
+                      help="max records to print (0 = all)")
+
+    p_clean = sub.add_parser("clean", help="delete stored results")
+    _add_store_flag(p_clean)
+    p_clean.add_argument("--stale", action="store_true",
+                         help="only delete records from older code versions")
+
+    p_export = sub.add_parser("export", help="dump the store as CSV")
+    _add_store_flag(p_export)
+    p_export.add_argument("--csv", default="-", metavar="PATH",
+                          help="output file (default: stdout)")
+
+    args = parser.parse_args(argv)
+    handler = {"run": _cmd_run, "ls": _cmd_ls, "clean": _cmd_clean,
+               "export": _cmd_export}[args.command]
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

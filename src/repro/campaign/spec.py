@@ -1,0 +1,280 @@
+"""Declarative run specifications and sweeps.
+
+A :class:`RunSpec` names one simulation completely: core kind, benchmark,
+clock plan, config overrides, seed, instruction budgets and memory scale.
+Specs are frozen, hashable and normalized (``None`` configs are resolved
+to the defaults the runners would substitute), so two ways of writing the
+same run produce the same spec — and the same :meth:`RunSpec.cache_key`.
+
+The cache key is a content hash over the full spec payload *plus a code
+fingerprint* of the installed ``repro`` sources, so results memoized by
+the :class:`~repro.campaign.store.ResultStore` are invalidated whenever
+the simulator itself changes.
+
+A :class:`Sweep` expands cross-products of the axes into a deduplicated
+job list (e.g. the baseline leg of a flywheel-config sweep collapses to a
+single job).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.config import ClockPlan, CoreConfig, FlywheelConfig, stable_hash
+from repro.core.sim import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    KIND_BASELINE,
+    KIND_FLYWHEEL,
+    SimResult,
+    default_config,
+    run_baseline,
+    run_flywheel,
+)
+from repro.errors import CampaignError
+from repro.frontend.bpred import BPredConfig
+from repro.mem.hierarchy import MemoryConfig
+from repro.workloads.profiles import get_profile
+
+KINDS = (KIND_BASELINE, KIND_FLYWHEEL)
+
+
+#: Subpackages whose code determines simulation output (and therefore
+#: stored results). Presentation layers — analysis, experiments tables,
+#: power reports, the campaign machinery itself — are derived from the
+#: stored stats at read time, so editing them must NOT invalidate the
+#: store.
+SIM_PACKAGES = ("core", "clocks", "ec", "execute", "frontend", "isa",
+                "issue", "mem", "rename", "rob", "workloads")
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of the simulation-determining ``repro`` sources.
+
+    Folded into every cache key so stale on-disk results cannot survive
+    a change to the simulator (the ISSUE's "code version" axis), while
+    CLI/docs/report-layer edits leave the store valid.
+    """
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for package in SIM_PACKAGES:
+        if not (root / package).is_dir():
+            # A silently skipped package would quietly drop out of the
+            # store-invalidation contract after a rename.
+            raise CampaignError(
+                f"code_fingerprint: simulation package {package!r} not "
+                f"found under {root}; update SIM_PACKAGES")
+        for path in sorted((root / package).rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully specified simulation job."""
+
+    kind: str
+    bench: str
+    clock: Optional[ClockPlan] = None
+    config: Optional[CoreConfig] = None
+    fly: Optional[FlywheelConfig] = None
+    seed: Optional[int] = None
+    instructions: int = DEFAULT_INSTRUCTIONS
+    warmup: int = DEFAULT_WARMUP
+    mem_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise CampaignError(
+                f"unknown run kind {self.kind!r}; expected one of {KINDS}")
+        get_profile(self.bench)  # raises WorkloadError for unknown names
+        if self.kind == KIND_BASELINE and self.fly is not None:
+            raise CampaignError(
+                f"baseline spec for {self.bench!r} cannot carry a "
+                "FlywheelConfig")
+        if self.instructions < 1 or self.warmup < 0:
+            raise CampaignError("instruction budgets must be positive")
+        # Equal specs must serialize identically: JSON renders 2 and 2.0
+        # differently, so an int-valued mem_scale would split cache keys.
+        object.__setattr__(self, "mem_scale", float(self.mem_scale))
+        # Normalize: a spec written with None axes is the *same run* as one
+        # written with the defaults spelled out, so resolve them here and
+        # let equality / hashing / dedup see through the difference.
+        clock = self.clock or ClockPlan()
+        if self.kind == KIND_BASELINE:
+            # The synchronous baseline only sees base_mhz; dropping the
+            # speedup axes collapses the baseline leg of clock sweeps.
+            clock = ClockPlan(base_mhz=clock.base_mhz)
+        object.__setattr__(self, "clock", clock)
+        object.__setattr__(self, "config",
+                           self.config or default_config(self.kind))
+        if self.kind == KIND_FLYWHEEL:
+            object.__setattr__(self, "fly", self.fly or FlywheelConfig())
+
+    # ----------------------------------------------------------- identity
+
+    def payload(self) -> Dict[str, object]:
+        """JSON-safe dict of everything that defines this run."""
+        return {
+            "kind": self.kind,
+            "bench": self.bench,
+            "clock": asdict(self.clock),
+            "config": asdict(self.config),
+            "fly": asdict(self.fly) if self.fly is not None else None,
+            "seed": self.seed,
+            "instructions": self.instructions,
+            "warmup": self.warmup,
+            "mem_scale": self.mem_scale,
+        }
+
+    def cache_key(self) -> str:
+        """Content address: spec payload + simulator code fingerprint."""
+        payload = self.payload()
+        payload["code"] = code_fingerprint()
+        return stable_hash(payload, length=40)
+
+    def variant(self) -> Dict[str, object]:
+        """Non-default config/fly fields — the axes a sweep varied.
+
+        Keys are field names (``fly.``-prefixed for FlywheelConfig),
+        values the overridden settings; empty for an all-defaults run.
+        Used to make config-sweep jobs distinguishable in labels,
+        ``ls`` and CSV exports, where the clock/seed axes alone are
+        identical across e.g. the sensitivity or ablation sweeps.
+        """
+        out: Dict[str, object] = {}
+        base = asdict(default_config(self.kind))
+        for name, value in asdict(self.config).items():
+            if value != base[name]:
+                out[name] = value
+        if self.fly is not None:
+            fly_base = asdict(FlywheelConfig())
+            for name, value in asdict(self.fly).items():
+                if value != fly_base[name]:
+                    out[f"fly.{name}"] = value
+        return out
+
+    @property
+    def label(self) -> str:
+        """Short human-readable job name for progress lines and ``ls``."""
+        bits = [f"{self.kind}/{self.bench}"]
+        if self.clock.fe_speedup or self.clock.be_speedup:
+            bits.append(f"fe+{self.clock.fe_speedup:.0%}"
+                        f",be+{self.clock.be_speedup:.0%}")
+        if self.clock.base_mhz != ClockPlan().base_mhz:
+            bits.append(f"{self.clock.base_mhz:.0f}MHz")
+        if self.seed is not None:
+            bits.append(f"seed={self.seed}")
+        if self.mem_scale != 1.0:
+            bits.append(f"mem×{self.mem_scale:g}")
+        variant = ",".join(f"{k}={v}" for k, v in self.variant().items())
+        if variant:
+            bits.append(variant if len(variant) <= 48
+                        else variant[:45] + "...")
+        return " ".join(bits)
+
+    # ---------------------------------------------------------- execution
+
+    def execute(self) -> SimResult:
+        """Run the simulation this spec describes (in this process)."""
+        if self.kind == KIND_BASELINE:
+            return run_baseline(
+                self.bench, config=self.config, clock=self.clock,
+                max_instructions=self.instructions, warmup=self.warmup,
+                seed=self.seed, mem_scale=self.mem_scale)
+        return run_flywheel(
+            self.bench, config=self.config, fly=self.fly, clock=self.clock,
+            max_instructions=self.instructions, warmup=self.warmup,
+            seed=self.seed, mem_scale=self.mem_scale)
+
+    # ----------------------------------------------- (de)serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        return self.payload()
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunSpec":
+        config = data.get("config")
+        if config is not None:
+            config = dict(config)
+            config["bpred"] = BPredConfig(**config["bpred"])
+            config["memory"] = MemoryConfig(**config["memory"])
+            config = CoreConfig(**config)
+        fly = data.get("fly")
+        if fly is not None:
+            fly = FlywheelConfig(**fly)
+        return cls(
+            kind=data["kind"],
+            bench=data["bench"],
+            clock=ClockPlan(**data["clock"]) if data.get("clock") else None,
+            config=config,
+            fly=fly,
+            seed=data.get("seed"),
+            instructions=data.get("instructions", DEFAULT_INSTRUCTIONS),
+            warmup=data.get("warmup", DEFAULT_WARMUP),
+            mem_scale=data.get("mem_scale", 1.0),
+        )
+
+
+def dedup(specs: Iterable[RunSpec]) -> List[RunSpec]:
+    """Drop duplicate specs, keeping first-seen order.
+
+    Specs are normalized, so duplicates are exact dataclass equals; no
+    hashing of payloads is needed here.
+    """
+    seen = set()
+    out: List[RunSpec] = []
+    for spec in specs:
+        if spec not in seen:
+            seen.add(spec)
+            out.append(spec)
+    return out
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """Cross-product of run axes, expanded into a deduplicated job list.
+
+    Every axis is a sequence; ``expand()`` yields the full product of
+    kinds × benchmarks × clocks × configs × flys × seeds × mem_scales.
+    Axes that do not apply to a kind are normalized away (a baseline job
+    ignores the ``flys`` axis), which is where the dedup earns its keep.
+
+    Budgets default to the library's ``run_*`` defaults (60k measured
+    instructions); the experiments CLI and presets measure 30k. Budgets
+    are part of the cache key, so pass ``instructions=``/``warmup=``
+    explicitly when a sweep should share store entries with a
+    ``python -m repro.campaign run``-warmed cache.
+    """
+
+    kinds: Tuple[str, ...] = KINDS
+    benchmarks: Tuple[str, ...] = ()
+    clocks: Tuple[Optional[ClockPlan], ...] = (None,)
+    configs: Tuple[Optional[CoreConfig], ...] = (None,)
+    flys: Tuple[Optional[FlywheelConfig], ...] = (None,)
+    seeds: Tuple[Optional[int], ...] = (None,)
+    mem_scales: Tuple[float, ...] = (1.0,)
+    instructions: int = DEFAULT_INSTRUCTIONS
+    warmup: int = DEFAULT_WARMUP
+
+    def expand(self) -> List[RunSpec]:
+        specs = []
+        for kind, bench, clock, config, fly, seed, mem_scale in (
+                itertools.product(self.kinds, self.benchmarks, self.clocks,
+                                  self.configs, self.flys, self.seeds,
+                                  self.mem_scales)):
+            specs.append(RunSpec(
+                kind=kind, bench=bench, clock=clock, config=config,
+                fly=fly if kind == KIND_FLYWHEEL else None,
+                seed=seed, instructions=self.instructions,
+                warmup=self.warmup, mem_scale=mem_scale))
+        return dedup(specs)

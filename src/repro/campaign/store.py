@@ -1,0 +1,172 @@
+"""Persistent, content-addressed result store.
+
+Finished :class:`~repro.core.sim.SimResult`s are written as JSON records
+keyed by :meth:`RunSpec.cache_key` — a hash of the full run configuration
+plus a fingerprint of the simulator sources. Repeated or overlapping
+campaigns therefore re-simulate nothing: a record either exists for the
+exact (config, workload, budgets, code) tuple or it does not.
+
+Layout under the store root::
+
+    <root>/objects/<key[:2]>/<key>.json
+
+Each record carries the spec payload (for ``ls``/``export``), the
+serialized result, the code fingerprint and a creation timestamp. Writes
+are atomic (temp file + ``os.replace``) so concurrent campaigns sharing a
+store never observe torn records; corrupt or unreadable records are
+treated as misses and re-simulated.
+
+The default root is ``~/.cache/repro-campaign``, overridable with the
+``REPRO_CAMPAIGN_DIR`` environment variable or the CLI ``--store`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from repro.campaign.spec import RunSpec, code_fingerprint
+from repro.core.sim import SimResult
+
+#: Bumped when the record layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+_ENV_VAR = "REPRO_CAMPAIGN_DIR"
+_DEFAULT_ROOT = "~/.cache/repro-campaign"
+
+
+def default_store_root() -> Path:
+    return Path(os.environ.get(_ENV_VAR, _DEFAULT_ROOT)).expanduser()
+
+
+class ResultStore:
+    """On-disk memo table for simulation results.
+
+    ``hits`` / ``misses`` count lookups since construction; ``puts``
+    counts records written. The campaign executor reports these so a
+    warm rerun can be *verified* to have simulated nothing.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root).expanduser() if root else default_store_root()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # ------------------------------------------------------------ lookup
+
+    def _path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def get(self, key: str) -> Optional[SimResult]:
+        """Return the stored result for ``key``, or None (counted)."""
+        record = self._read(key)
+        if record is not None:
+            try:
+                result = SimResult.from_dict(record["result"])
+            except (KeyError, TypeError, ValueError, AttributeError):
+                record = None     # schema-valid JSON, damaged payload
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def _read(self, key: str) -> Optional[Dict[str, object]]:
+        path = self._path(key)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (not isinstance(record, dict)
+                or record.get("schema") != SCHEMA_VERSION
+                or not isinstance(record.get("result"), dict)):
+            return None
+        return record
+
+    # ------------------------------------------------------------- write
+
+    def put(self, key: str, spec: RunSpec, result: SimResult) -> None:
+        """Persist one finished run atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "code": code_fingerprint(),
+            "created": time.time(),
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        blob = json.dumps(record, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.puts += 1
+
+    # -------------------------------------------------------- management
+
+    def records(self) -> Iterator[Dict[str, object]]:
+        """Yield every readable record (newest first)."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        def mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:       # concurrently clean()ed — sort it last,
+                return 0.0        # _read() then skips the vanished record
+        paths = sorted(objects.glob("*/*.json"), key=mtime, reverse=True)
+        for path in paths:
+            record = self._read(path.stem)
+            if record is not None:
+                yield record
+
+    def __len__(self) -> int:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        return sum(1 for _ in objects.glob("*/*.json"))
+
+    def clean(self, stale_only: bool = False) -> int:
+        """Delete records; with ``stale_only`` keep current-code ones.
+
+        Returns the number of records removed.
+        """
+        removed = 0
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return 0
+        # Orphaned temp files from interrupted put()s are always junk.
+        for path in objects.glob("*/*.tmp"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        current = code_fingerprint()
+        for path in objects.glob("*/*.json"):
+            if stale_only:
+                record = self._read(path.stem)
+                if record is not None and record.get("code") == current:
+                    continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

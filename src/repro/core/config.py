@@ -8,15 +8,55 @@ front-end speedups of 0-100% and a back-end (trace-execution) speedup of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.errors import ConfigError
 from repro.frontend.bpred import BPredConfig
 from repro.mem.hierarchy import MemoryConfig
 
 
+def _canonical(value: object) -> object:
+    """Normalize a payload so ``==``-equal values serialize identically.
+
+    JSON renders 64 and 64.0 differently while Python compares them
+    equal; folding integral floats to ints keeps the invariant that
+    equal configs/specs share a hash, whatever numeric type the caller
+    used.
+    """
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, dict):
+        return {k: _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def stable_hash(payload: object, length: int = 16) -> str:
+    """Deterministic hex digest of a JSON-serializable payload.
+
+    Uses canonical JSON (sorted keys, no whitespace, integral floats
+    folded to ints) so the digest is stable across processes and Python
+    versions — unlike ``hash()``, which is randomized per interpreter
+    run.
+    """
+    blob = json.dumps(_canonical(payload), sort_keys=True,
+                      separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:length]
+
+
+class _CacheKeyMixin:
+    """Content-addressed identity for frozen config dataclasses."""
+
+    def cache_key(self) -> str:
+        """Stable short hash of every field (nested configs included)."""
+        return stable_hash(asdict(self))
+
+
 @dataclass(frozen=True)
-class CoreConfig:
+class CoreConfig(_CacheKeyMixin):
     """Microarchitecture parameters (defaults = paper Table 2, baseline)."""
 
     # Widths
@@ -63,7 +103,7 @@ class CoreConfig:
 
 
 @dataclass(frozen=True)
-class FlywheelConfig:
+class FlywheelConfig(_CacheKeyMixin):
     """Flywheel-specific structures on top of a :class:`CoreConfig`.
 
     Defaults follow Table 2 and Sections 3.3-3.5: a 128K two-way Execution
@@ -114,7 +154,7 @@ class FlywheelConfig:
 
 
 @dataclass(frozen=True)
-class ClockPlan:
+class ClockPlan(_CacheKeyMixin):
     """Frequencies (MHz) for a run.
 
     ``fe_mhz`` drives fetch/decode/rename/dispatch; ``be_mhz`` drives the
@@ -127,6 +167,13 @@ class ClockPlan:
     base_mhz: float = 950.0          # Table 1, 0.18um issue window
     fe_speedup: float = 0.0          # 0.0 .. 1.0  (0% .. 100%)
     be_speedup: float = 0.0          # trace-execution core speedup (0.5 = 50%)
+
+    def __post_init__(self) -> None:
+        # Coerce int-valued inputs (e.g. base_mhz=950) so equal plans
+        # also serialize identically — cache keys go through JSON, where
+        # 950 and 950.0 render differently.
+        for name in ("base_mhz", "fe_speedup", "be_speedup"):
+            object.__setattr__(self, name, float(getattr(self, name)))
 
     @property
     def fe_mhz(self) -> float:

@@ -112,11 +112,15 @@ class FlywheelCore:
 
     def __init__(self, config: CoreConfig, fly: FlywheelConfig,
                  clock: ClockPlan, stream: InstructionStream,
-                 hierarchy: Optional[MemoryHierarchy] = None):
+                 hierarchy: Optional[MemoryHierarchy] = None,
+                 mem_scale: float = 1.0):
         self.config = config
         self.fly = fly
         self.clock = clock
         self.stream = stream
+        #: Extra DRAM-latency multiplier (memory-sensitivity studies),
+        #: applied on top of the per-domain clock scaling below.
+        self.mem_scale = mem_scale
         self.stats = SimStats()
 
         self.hierarchy = hierarchy or MemoryHierarchy(config.memory)
@@ -229,7 +233,7 @@ class FlywheelCore:
         return self.stats
 
     def _functional_warmup(self, count: int) -> None:
-        fe_scale = self.clock.mem_scale(self.clock.fe_mhz)
+        fe_scale = self.clock.mem_scale(self.clock.fe_mhz) * self.mem_scale
         for _ in range(count):
             dyn = self.stream.next_instr()
             if dyn.seq % 4 == 0:
@@ -316,7 +320,7 @@ class FlywheelCore:
             return
         if len(self._fetch_out) >= 4 * self.config.fetch_width:
             return
-        fe_scale = self.clock.mem_scale(self.clock.fe_mhz)
+        fe_scale = self.clock.mem_scale(self.clock.fe_mhz) * self.mem_scale
         delay = 0
         for i in range(self.config.fetch_width):
             dyn = self._next_oracle()
@@ -466,8 +470,8 @@ class FlywheelCore:
 
     def _be_mem_scale(self) -> float:
         if self.mode is Mode.EXECUTE:
-            return self.clock.mem_scale(self.clock.be_fast_mhz)
-        return self.clock.mem_scale(self.clock.be_mhz)
+            return self.clock.mem_scale(self.clock.be_fast_mhz) * self.mem_scale
+        return self.clock.mem_scale(self.clock.be_mhz) * self.mem_scale
 
     # ----------------------------------------------------- CREATE mode (BE)
 

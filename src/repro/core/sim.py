@@ -3,12 +3,19 @@
 These wrap workload construction, core instantiation and the run loop into
 one call, returning a :class:`SimResult` with the stats and the structures
 needed by the power model (cache stats, window counters, clock cycles).
+
+``SimResult`` is serializable: the live ``core`` object is an in-process
+convenience only, and everything downstream consumers need (the power
+model's L2 access count and core kind, the clock plan, the full
+:class:`SimStats`) round-trips through :meth:`SimResult.to_dict` /
+:meth:`SimResult.from_dict`. This is what lets the campaign engine run
+simulations in worker processes and memoize them on disk.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Union
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Union
 
 from repro.core.baseline import BaselineCore
 from repro.core.config import ClockPlan, CoreConfig, FlywheelConfig
@@ -26,15 +33,27 @@ from repro.workloads import (
 DEFAULT_WARMUP = 60_000
 DEFAULT_INSTRUCTIONS = 60_000
 
+#: Kind tags stamped on results (and used by campaign run specs).
+KIND_BASELINE = "baseline"
+KIND_FLYWHEEL = "flywheel"
+
 
 @dataclass
 class SimResult:
-    """Everything a report or power model needs from one run."""
+    """Everything a report or power model needs from one run.
+
+    ``core`` holds the live simulator for in-process inspection and is
+    ``None`` on results rebuilt from a worker process or the on-disk
+    store; ``kind`` and ``l2_accesses`` carry the information the power
+    model would otherwise read off the core object.
+    """
 
     name: str
     stats: SimStats
-    core: object          # BaselineCore or FlywheelCore (for structures)
-    clock: ClockPlan
+    core: object = None   # BaselineCore / FlywheelCore, or None if detached
+    clock: ClockPlan = field(default_factory=ClockPlan)
+    kind: str = ""        # KIND_BASELINE or KIND_FLYWHEEL
+    l2_accesses: int = 0
 
     @property
     def time_ps(self) -> int:
@@ -43,6 +62,29 @@ class SimResult:
     @property
     def ipc(self) -> float:
         return self.stats.ipc
+
+    # ------------------------------------------------- (de)serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict (drops the live ``core`` object)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "l2_accesses": self.l2_accesses,
+            "clock": asdict(self.clock),
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimResult":
+        return cls(
+            name=data["name"],
+            stats=SimStats.from_dict(data["stats"]),
+            core=None,
+            clock=ClockPlan(**data["clock"]),
+            kind=data.get("kind", ""),
+            l2_accesses=int(data.get("l2_accesses", 0)),
+        )
 
 
 def _resolve_workload(workload: Union[str, WorkloadProfile, Program],
@@ -66,7 +108,7 @@ def run_baseline(workload: Union[str, WorkloadProfile, Program],
     ``workload`` may be a benchmark name (``"gcc"``), a profile, or a
     pre-built program. The single clock is ``clock.base_mhz``.
     """
-    config = config or CoreConfig()
+    config = config or default_config(KIND_BASELINE)
     clock = clock or ClockPlan()
     program = _resolve_workload(workload, seed)
     stream = InstructionStream(program)
@@ -74,7 +116,9 @@ def run_baseline(workload: Union[str, WorkloadProfile, Program],
     stats = core.run(max_instructions, warmup=warmup)
     period_ps = round(1e6 / clock.base_mhz)
     stats.sim_time_ps = stats.total_be_cycles * period_ps
-    return SimResult(name=program.name, stats=stats, core=core, clock=clock)
+    return SimResult(name=program.name, stats=stats, core=core, clock=clock,
+                     kind=KIND_BASELINE,
+                     l2_accesses=core.hierarchy.l2.stats.accesses)
 
 
 def run_flywheel(workload: Union[str, WorkloadProfile, Program],
@@ -83,15 +127,36 @@ def run_flywheel(workload: Union[str, WorkloadProfile, Program],
                  clock: Optional[ClockPlan] = None,
                  max_instructions: int = DEFAULT_INSTRUCTIONS,
                  warmup: int = DEFAULT_WARMUP,
-                 seed: Optional[int] = None) -> SimResult:
-    """Run the Flywheel core on a workload under a clock plan."""
+                 seed: Optional[int] = None,
+                 mem_scale: float = 1.0) -> SimResult:
+    """Run the Flywheel core on a workload under a clock plan.
+
+    ``mem_scale`` inflates DRAM latency the same way it does for
+    :func:`run_baseline` (on top of the clock-domain scaling the core
+    already applies), so memory-sensitivity sweeps cover both cores.
+    """
     from repro.core.flywheel import FlywheelCore  # cycle-import guard
 
-    config = config or CoreConfig(phys_regs=512, regread_stages=2)
+    config = config or default_config(KIND_FLYWHEEL)
     fly = fly or FlywheelConfig()
     clock = clock or ClockPlan()
     program = _resolve_workload(workload, seed)
     stream = InstructionStream(program)
-    core = FlywheelCore(config, fly, clock, stream)
+    core = FlywheelCore(config, fly, clock, stream, mem_scale=mem_scale)
     stats = core.run(max_instructions, warmup=warmup)
-    return SimResult(name=program.name, stats=stats, core=core, clock=clock)
+    return SimResult(name=program.name, stats=stats, core=core, clock=clock,
+                     kind=KIND_FLYWHEEL,
+                     l2_accesses=core.hierarchy.l2.stats.accesses)
+
+
+def default_config(kind: str) -> CoreConfig:
+    """The CoreConfig the runners substitute for ``config=None``.
+
+    Single source of truth shared by ``run_baseline``/``run_flywheel``
+    and campaign-spec normalization, so ``config=None`` and an
+    explicitly passed default always describe (and hash as) the same
+    run.
+    """
+    if kind == KIND_FLYWHEEL:
+        return CoreConfig(phys_regs=512, regread_stages=2)
+    return CoreConfig()

@@ -10,7 +10,7 @@ touching the accounting code.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -51,6 +51,27 @@ class SimStats:
 
     def count(self, event: str, n: int = 1) -> None:
         self.events[event] += n
+
+    # ------------------------------------------------- (de)serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain JSON-safe dict; exact inverse of :meth:`from_dict`."""
+        out: Dict[str, object] = {
+            f.name: getattr(self, f.name) for f in fields(self)
+            if f.name != "events"
+        }
+        out["events"] = dict(self.events)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimStats":
+        """Rebuild stats from :meth:`to_dict` output (unknown keys ignored,
+        so records survive the addition of new counters)."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items()
+                  if k in known and k != "events"}
+        kwargs["events"] = Counter(data.get("events", {}))
+        return cls(**kwargs)
 
     # ------------------------------------------------------------ metrics
 

@@ -21,3 +21,8 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """An internal simulation invariant was violated (simulator bug)."""
+
+
+class CampaignError(ReproError):
+    """A campaign spec is invalid or a campaign run failed (bad run kind,
+    corrupt store record, worker failure or per-job timeout)."""

@@ -3,7 +3,14 @@
 Usage::
 
     python -m repro.experiments fig12 [--instructions N] [--warmup N]
-    python -m repro.experiments all
+    python -m repro.experiments all --jobs 4 --benchmarks gcc,gzip
+    python -m repro.experiments all --store ~/.cache/repro-campaign
+
+``--jobs`` fans the experiments' simulations out over worker processes
+through the campaign engine before the tables are printed; ``--store``
+additionally memoizes every run on disk so repeated invocations are
+near-instant. See ``python -m repro.campaign --help`` for managing the
+store.
 """
 
 from __future__ import annotations
@@ -11,6 +18,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.campaign.executor import print_progress
+from repro.campaign.store import ResultStore
 from repro.experiments import fig01_latency, fig02_loops, fig11_same_clock
 from repro.experiments import fig12_performance, fig13_energy, fig14_power
 from repro.experiments import fig15_technology, residency, table1_freq
@@ -20,6 +29,7 @@ from repro.experiments.common import (
     DEFAULT_WARMUP,
     ExperimentContext,
 )
+from repro.workloads.profiles import SPEC_NAMES, get_profile
 
 EXPERIMENTS = {
     "fig1": fig01_latency,
@@ -35,6 +45,74 @@ EXPERIMENTS = {
     "sensitivity": sensitivity,
 }
 
+#: Presentation order for ``all``.
+ALL_ORDER = ("fig1", "table1", "fig2", "fig11", "residency", "fig12",
+             "fig13", "fig14", "fig15", "ablations", "sensitivity")
+
+
+def parse_benchmarks(arg: str) -> tuple:
+    """Validate a comma-separated benchmark list early (clear CLI error)."""
+    from repro.errors import WorkloadError
+
+    names = tuple(dict.fromkeys(n.strip() for n in arg.split(",")
+                                if n.strip()))
+    try:
+        for name in names:
+            get_profile(name)
+    except WorkloadError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    if not names:
+        raise argparse.ArgumentTypeError("empty benchmark list")
+    return names
+
+
+def add_run_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared with ``python -m repro.campaign run``."""
+    parser.add_argument("--instructions", type=int,
+                        default=DEFAULT_INSTRUCTIONS,
+                        help="measured instructions per run")
+    parser.add_argument("--warmup", type=int, default=DEFAULT_WARMUP,
+                        help="functional warmup instructions per run")
+    parser.add_argument("--benchmarks", type=parse_benchmarks,
+                        default=SPEC_NAMES, metavar="A,B,...",
+                        help="comma-separated benchmark subset "
+                             f"(default: {','.join(SPEC_NAMES)})")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="workload generation seed shared by all runs "
+                             "(default: each benchmark's stable seed)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the simulations")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="persist results in a campaign store at DIR")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-job timeout in seconds (parallel runs)")
+
+
+def build_context(args) -> ExperimentContext:
+    store = ResultStore(args.store) if args.store else None
+    return ExperimentContext(instructions=args.instructions,
+                             warmup=args.warmup,
+                             benchmarks=args.benchmarks,
+                             seed=args.seed,
+                             store=store)
+
+
+def warm_experiments(ctx: ExperimentContext, names, jobs=1, timeout=None,
+                     progress=print_progress):
+    """Fan the named experiments' simulations out through the campaign
+    engine into ``ctx``'s cache; shared by both CLI entry points."""
+    from repro.campaign.presets import experiment_specs
+
+    specs = experiment_specs(names, benchmarks=ctx.benchmarks,
+                             instructions=ctx.instructions,
+                             warmup=ctx.warmup, seed=ctx.seed)
+    return ctx.warm(specs, jobs=jobs, timeout_s=timeout, progress=progress)
+
+
+def print_experiments(ctx: ExperimentContext, names) -> None:
+    for name in names:
+        EXPERIMENTS[name].main(ctx)
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -43,22 +121,26 @@ def main(argv=None) -> int:
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all"],
                         help="which table/figure to regenerate")
-    parser.add_argument("--instructions", type=int,
-                        default=DEFAULT_INSTRUCTIONS,
-                        help="measured instructions per run")
-    parser.add_argument("--warmup", type=int, default=DEFAULT_WARMUP,
-                        help="functional warmup instructions per run")
+    add_run_flags(parser)
     args = parser.parse_args(argv)
 
-    ctx = ExperimentContext(instructions=args.instructions,
-                            warmup=args.warmup)
-    if args.experiment == "all":
-        for name in ("fig1", "table1", "fig2", "fig11", "residency",
-                     "fig12", "fig13", "fig14", "fig15", "ablations",
-                     "sensitivity"):
-            EXPERIMENTS[name].main(ctx)
-    else:
-        EXPERIMENTS[args.experiment].main(ctx)
+    ctx = build_context(args)
+    names = list(ALL_ORDER) if args.experiment == "all" else [args.experiment]
+
+    # Any of the campaign-engine features (parallelism, persistence,
+    # timeout enforcement) routes the simulations through the engine.
+    if args.jobs > 1 or ctx.store is not None or args.timeout is not None:
+        from repro.errors import ReproError
+
+        try:
+            report = warm_experiments(ctx, names, jobs=args.jobs,
+                                      timeout=args.timeout)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"campaign: {report.summary()}", file=sys.stderr)
+
+    print_experiments(ctx, names)
     return 0
 
 

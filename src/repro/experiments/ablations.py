@@ -46,7 +46,7 @@ def run(ctx: ExperimentContext) -> List[dict]:
         base = ctx.baseline(bench, ClockPlan())
         row = {"benchmark": bench}
         for label, fly in ABLATIONS:
-            res = ctx.flywheel(bench, _CLOCK, fly=fly, tag=f"abl-{label}")
+            res = ctx.flywheel(bench, _CLOCK, fly=fly)
             row[label] = base.stats.sim_time_ps / max(1, res.stats.sim_time_ps)
         rows.append(row)
     avg = {"benchmark": "geomean"}

@@ -1,4 +1,19 @@
-"""Shared experiment plumbing: cached runs, normalization, table printing."""
+"""Shared experiment plumbing: cached runs, normalization, table printing.
+
+``ExperimentContext`` executes on top of the campaign engine: every
+``baseline()``/``flywheel()`` call is materialized as a
+:class:`~repro.campaign.spec.RunSpec` and memoized under its content
+hash. That keying covers the *entire* run configuration — benchmark,
+clock plan, core/flywheel config overrides, seed, budgets and memory
+scale — so two calls that differ only in ``config=``/``fly=`` can never
+alias (the old ``(kind, bench, clock, tag)`` key silently returned stale
+results for exactly that case, and its ``tag`` parameter is gone).
+
+Attach a :class:`~repro.campaign.store.ResultStore` to make the cache
+persistent across invocations, and use :meth:`ExperimentContext.warm`
+to fan a job list out over worker processes before the (serial)
+experiment code reads the results back.
+"""
 
 from __future__ import annotations
 
@@ -6,8 +21,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.campaign.executor import CampaignReport, ProgressFn, run_campaign
+from repro.campaign.spec import RunSpec
+from repro.campaign.store import ResultStore
 from repro.core.config import ClockPlan, CoreConfig, FlywheelConfig
-from repro.core.sim import SimResult, run_baseline, run_flywheel
+from repro.core.sim import KIND_BASELINE, KIND_FLYWHEEL, SimResult
 from repro.workloads.profiles import SPEC_NAMES
 
 #: Default measurement budgets. The paper fast-forwards 500M instructions
@@ -19,41 +37,87 @@ DEFAULT_WARMUP = 60_000
 
 @dataclass
 class ExperimentContext:
-    """Run cache + budgets shared by all experiments in one invocation."""
+    """Run cache + budgets shared by all experiments in one invocation.
+
+    ``seed`` applies to every run (None = each benchmark's stable default
+    seed); ``store`` adds a persistent second cache level; ``executed``
+    counts simulations this context actually ran, so tests can verify a
+    warmed context performs zero new work.
+    """
 
     instructions: int = DEFAULT_INSTRUCTIONS
     warmup: int = DEFAULT_WARMUP
     benchmarks: Tuple[str, ...] = SPEC_NAMES
-    _cache: Dict[tuple, SimResult] = field(default_factory=dict)
+    seed: Optional[int] = None
+    store: Optional[ResultStore] = None
+    executed: int = 0
+    _cache: Dict[str, SimResult] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- runs
+
+    def _spec(self, kind: str, bench: str,
+              clock: Optional[ClockPlan] = None,
+              config: Optional[CoreConfig] = None,
+              fly: Optional[FlywheelConfig] = None,
+              mem_scale: float = 1.0) -> RunSpec:
+        return RunSpec(kind=kind, bench=bench, clock=clock, config=config,
+                       fly=fly, seed=self.seed,
+                       instructions=self.instructions, warmup=self.warmup,
+                       mem_scale=mem_scale)
+
+    def run_spec(self, spec: RunSpec) -> SimResult:
+        """Memoized execution: memory cache, then store, then simulate."""
+        key = spec.cache_key()
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        if self.store is not None:
+            stored = self.store.get(key)
+            if stored is not None:
+                self._cache[key] = stored
+                return stored
+        result = spec.execute()
+        if self.store is not None:
+            self.store.put(key, spec, result)
+        self._cache[key] = result
+        self.executed += 1
+        return result
 
     def baseline(self, bench: str, clock: Optional[ClockPlan] = None,
                  config: Optional[CoreConfig] = None,
-                 tag: str = "") -> SimResult:
-        clock = clock or ClockPlan()
-        key = ("base", bench, clock, tag)
-        if key not in self._cache:
-            self._cache[key] = run_baseline(
-                bench, config=config, clock=clock,
-                max_instructions=self.instructions, warmup=self.warmup)
-        return self._cache[key]
+                 mem_scale: float = 1.0) -> SimResult:
+        return self.run_spec(self._spec(KIND_BASELINE, bench, clock=clock,
+                                        config=config, mem_scale=mem_scale))
 
     def flywheel(self, bench: str, clock: Optional[ClockPlan] = None,
                  fly: Optional[FlywheelConfig] = None,
-                 tag: str = "") -> SimResult:
-        clock = clock or ClockPlan()
-        key = ("fly", bench, clock, tag)
-        if key not in self._cache:
-            self._cache[key] = run_flywheel(
-                bench, fly=fly, clock=clock,
-                max_instructions=self.instructions, warmup=self.warmup)
-        return self._cache[key]
+                 mem_scale: float = 1.0) -> SimResult:
+        return self.run_spec(self._spec(KIND_FLYWHEEL, bench, clock=clock,
+                                        fly=fly, mem_scale=mem_scale))
 
     def speedup(self, bench: str, clock: ClockPlan,
-                fly: Optional[FlywheelConfig] = None, tag: str = "") -> float:
+                fly: Optional[FlywheelConfig] = None) -> float:
         """Baseline time / Flywheel time (>1 means the Flywheel wins)."""
         base = self.baseline(bench, ClockPlan(base_mhz=clock.base_mhz))
-        flyr = self.flywheel(bench, clock, fly=fly, tag=tag)
+        flyr = self.flywheel(bench, clock, fly=fly)
         return base.stats.sim_time_ps / max(1, flyr.stats.sim_time_ps)
+
+    # --------------------------------------------------------- campaigns
+
+    def warm(self, specs: Iterable[RunSpec], jobs: int = 1,
+             timeout_s: Optional[float] = None,
+             progress: Optional[ProgressFn] = None) -> CampaignReport:
+        """Pre-execute a job list (parallel if ``jobs > 1``) into the cache.
+
+        Experiments run afterwards hit the in-memory cache instead of
+        simulating; any spec the list missed still runs on demand.
+        Specs already in the in-memory cache are skipped outright.
+        """
+        specs = [s for s in specs if s.cache_key() not in self._cache]
+        report = run_campaign(specs, store=self.store, jobs=jobs,
+                              timeout_s=timeout_s, progress=progress)
+        self._cache.update(report.results)
+        return report
 
 
 def geomean(values: Iterable[float]) -> float:

@@ -20,11 +20,9 @@ def run(ctx: ExperimentContext) -> List[dict]:
     for bench in ctx.benchmarks:
         base = ctx.baseline(bench)
         fe = ctx.baseline(
-            bench, tag="fe+1",
-            config=CoreConfig(extra_frontend_stages=1))
+            bench, config=CoreConfig(extra_frontend_stages=1))
         ws = ctx.baseline(
-            bench, tag="pipelined-ws",
-            config=CoreConfig(wakeup_extra_delay=1))
+            bench, config=CoreConfig(wakeup_extra_delay=1))
         base_ipc = base.stats.ipc
         rows.append({
             "benchmark": bench,

@@ -27,8 +27,8 @@ def run(ctx: ExperimentContext) -> List[dict]:
     no_ec = FlywheelConfig(ec_enabled=False)
     for bench in ctx.benchmarks:
         base = ctx.baseline(bench, ClockPlan())
-        ra = ctx.flywheel(bench, _EQUAL, fly=no_ec, tag="no-ec")
-        fw = ctx.flywheel(bench, _EQUAL, tag="full")
+        ra = ctx.flywheel(bench, _EQUAL, fly=no_ec)
+        fw = ctx.flywheel(bench, _EQUAL)
         rows.append({
             "benchmark": bench,
             "register_allocation": base.stats.sim_time_ps / max(1, ra.stats.sim_time_ps),

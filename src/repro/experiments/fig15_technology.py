@@ -28,10 +28,8 @@ def run(ctx: ExperimentContext) -> List[dict]:
             bclock = ClockPlan(base_mhz=base_mhz)
             fclock = ClockPlan(base_mhz=base_mhz, fe_speedup=1.0,
                                be_speedup=0.5)
-            base = energy_report(
-                ctx.baseline(bench, bclock, tag=tech.name), tech)
-            fly = energy_report(
-                ctx.flywheel(bench, fclock, tag=tech.name), tech)
+            base = energy_report(ctx.baseline(bench, bclock), tech)
+            fly = energy_report(ctx.flywheel(bench, fclock), tech)
             row[tech.name] = fly.total_pj / base.total_pj
         rows.append(row)
     avg = {"benchmark": "geomean"}

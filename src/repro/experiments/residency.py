@@ -18,7 +18,7 @@ _EQUAL = ClockPlan(fe_speedup=0.0, be_speedup=0.0)
 def run(ctx: ExperimentContext) -> List[dict]:
     rows = []
     for bench in ctx.benchmarks:
-        res = ctx.flywheel(bench, _EQUAL, tag="full")
+        res = ctx.flywheel(bench, _EQUAL)
         stats = res.stats
         rows.append({
             "benchmark": bench,

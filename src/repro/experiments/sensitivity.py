@@ -34,8 +34,7 @@ def run(ctx: ExperimentContext) -> List[dict]:
         ref_ipc = None
         for entries, width in IW_POINTS:
             cfg = CoreConfig(iw_entries=entries, issue_width=width)
-            res = ctx.baseline(bench, config=cfg,
-                               tag=f"iw{entries}x{width}")
+            res = ctx.baseline(bench, config=cfg)
             ipc = res.stats.ipc
             if (entries, width) == (128, 6):
                 ref_ipc = ipc

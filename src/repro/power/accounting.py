@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.core.sim import SimResult
+from repro.core.sim import KIND_FLYWHEEL, SimResult
 from repro.power.clocktree import clock_energy_pj
 from repro.power.energy import dynamic_energy_pj
 from repro.power.leakage import (
@@ -53,27 +53,33 @@ class EnergyReport:
 
 
 def energy_report(result: SimResult, tech: TechNode) -> EnergyReport:
-    """Evaluate the power models over one finished simulation."""
+    """Evaluate the power models over one finished simulation.
+
+    Works on both live results (``result.core`` set) and detached ones
+    rebuilt from the campaign store, which carry the core kind and L2
+    access count as plain fields instead.
+    """
     from repro.core.flywheel import FlywheelCore  # avoid import cycle
 
     core = result.core
     stats = result.stats
-    is_flywheel = isinstance(core, FlywheelCore)
+    if core is not None:
+        is_flywheel = isinstance(core, FlywheelCore)
+        l2_accesses = core.hierarchy.l2.stats.accesses
+    else:
+        is_flywheel = result.kind == KIND_FLYWHEEL
+        l2_accesses = result.l2_accesses
 
     events = dict(stats.events)
-    events["l2_access"] = core.hierarchy.l2.stats.accesses
+    events["l2_access"] = l2_accesses
 
     by_event = dynamic_energy_pj(events, tech, flywheel_rf=is_flywheel)
     dynamic = sum(by_event.values())
 
-    if is_flywheel:
-        fe_active = stats.fe_cycles_active
-        be_cycles = stats.total_be_cycles
-        structures = flywheel_structures()
-    else:
-        fe_active = stats.fe_cycles_active
-        be_cycles = stats.total_be_cycles
-        structures = baseline_structures()
+    fe_active = stats.fe_cycles_active
+    be_cycles = stats.total_be_cycles
+    structures = (flywheel_structures() if is_flywheel
+                  else baseline_structures())
     clock = clock_energy_pj(tech, be_cycles, fe_active, be_cycles)
 
     time_s = stats.sim_time_ps * 1e-12

@@ -1,0 +1,364 @@
+"""Campaign engine: sweep expansion, store round-trips, cache behaviour,
+parallel determinism, and the ExperimentContext cache-key fix."""
+
+import json
+
+import pytest
+
+from repro.campaign import ResultStore, RunSpec, Sweep, dedup, run_campaign
+from repro.campaign.spec import code_fingerprint
+from repro.core.config import ClockPlan, CoreConfig, FlywheelConfig
+from repro.core.sim import SimResult, run_baseline, run_flywheel
+from repro.errors import CampaignError, WorkloadError
+
+#: Tiny budgets: every simulated spec in this file finishes in ~50ms.
+N, W = 1200, 2500
+
+
+def spec(kind="baseline", bench="smoke", **kw):
+    kw.setdefault("instructions", N)
+    kw.setdefault("warmup", W)
+    return RunSpec(kind=kind, bench=bench, **kw)
+
+
+class TestRunSpec:
+    def test_normalization_none_equals_defaults(self):
+        assert spec() == spec(config=CoreConfig(), clock=ClockPlan())
+        assert spec().cache_key() == spec(config=CoreConfig()).cache_key()
+
+    def test_flywheel_normalizes_fly_and_config(self):
+        s = spec(kind="flywheel")
+        assert s.fly == FlywheelConfig()
+        assert s.config == CoreConfig(phys_regs=512, regread_stages=2)
+
+    def test_cache_key_covers_every_axis(self):
+        base = spec()
+        variants = [
+            spec(bench="ijpeg"),
+            spec(kind="flywheel"),
+            spec(config=CoreConfig(iw_entries=64)),
+            spec(clock=ClockPlan(base_mhz=1200.0)),
+            spec(kind="flywheel", clock=ClockPlan(fe_speedup=0.5)),
+            spec(seed=7),
+            spec(instructions=N + 1),
+            spec(warmup=W + 1),
+            spec(mem_scale=2.0),
+        ]
+        keys = {s.cache_key() for s in variants} | {base.cache_key()}
+        assert len(keys) == len(variants) + 1
+
+    def test_cache_key_stable_across_calls(self):
+        assert spec(seed=3).cache_key() == spec(seed=3).cache_key()
+
+    def test_equal_specs_hash_equal_despite_int_float(self):
+        # JSON renders 2 and 2.0 differently; coercion keeps the
+        # spec==spec -> key==key invariant.
+        assert (spec(mem_scale=2).cache_key()
+                == spec(mem_scale=2.0).cache_key())
+        assert (spec(clock=ClockPlan(base_mhz=950)).cache_key()
+                == spec().cache_key())
+        assert (spec(config=CoreConfig(iw_entries=64.0)).cache_key()
+                == spec(config=CoreConfig(iw_entries=64)).cache_key())
+
+    def test_config_cache_key_api(self):
+        # The config dataclasses expose stable content hashing directly.
+        assert CoreConfig().cache_key() == CoreConfig().cache_key()
+        assert (CoreConfig(iw_entries=64).cache_key()
+                != CoreConfig().cache_key())
+        assert (FlywheelConfig(ec_kb=64).cache_key()
+                != FlywheelConfig().cache_key())
+        assert (ClockPlan(base_mhz=950).cache_key()
+                == ClockPlan().cache_key())
+
+    def test_code_fingerprint_ignores_presentation_layers(self):
+        from repro.campaign.spec import SIM_PACKAGES
+
+        assert "experiments" not in SIM_PACKAGES
+        assert "campaign" not in SIM_PACKAGES
+        assert "core" in SIM_PACKAGES and "workloads" in SIM_PACKAGES
+
+    def test_cache_key_includes_code_fingerprint(self):
+        payload = spec().payload()
+        assert "code" not in payload          # payload is pure spec...
+        assert len(code_fingerprint()) == 12  # ...key mixes the code hash
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(CampaignError):
+            spec(kind="turbo")
+        with pytest.raises(WorkloadError):
+            spec(bench="nonesuch")
+        with pytest.raises(CampaignError):
+            spec(kind="baseline", fly=FlywheelConfig())
+
+    def test_variant_surfaces_non_default_axes(self):
+        assert spec().variant() == {}
+        assert spec(config=CoreConfig(iw_entries=64)).variant() == {
+            "iw_entries": 64}
+        fly_var = spec(kind="flywheel",
+                       fly=FlywheelConfig(ec_kb=64, use_srt=False)).variant()
+        assert fly_var == {"fly.ec_kb": 64, "fly.use_srt": False}
+        assert "iw_entries=64" in spec(
+            config=CoreConfig(iw_entries=64)).label
+
+    def test_round_trip_through_dict(self):
+        s = spec(kind="flywheel", clock=ClockPlan(fe_speedup=0.25),
+                 fly=FlywheelConfig(ec_kb=64), seed=9, mem_scale=1.5)
+        again = RunSpec.from_dict(json.loads(json.dumps(s.to_dict())))
+        assert again == s
+        assert again.cache_key() == s.cache_key()
+
+
+class TestSweep:
+    def test_cross_product_counts(self):
+        sweep = Sweep(kinds=("flywheel",), benchmarks=("smoke", "ijpeg"),
+                      clocks=(ClockPlan(), ClockPlan(fe_speedup=0.5)),
+                      seeds=(1, 2), instructions=N, warmup=W)
+        assert len(sweep.expand()) == 2 * 2 * 2
+
+    def test_baseline_leg_collapses_fly_axis(self):
+        # Two flywheel configs -> two flywheel jobs but ONE baseline job.
+        sweep = Sweep(benchmarks=("smoke",),
+                      flys=(None, FlywheelConfig(ec_kb=64)),
+                      instructions=N, warmup=W)
+        jobs = sweep.expand()
+        assert len(jobs) == 3
+        assert sum(1 for j in jobs if j.kind == "baseline") == 1
+
+    def test_baseline_leg_collapses_speedup_axis(self):
+        # The baseline core only sees base_mhz, so FE/BE speedup points
+        # fold into one baseline job per base clock.
+        sweep = Sweep(benchmarks=("smoke",),
+                      clocks=(ClockPlan(), ClockPlan(fe_speedup=0.5,
+                                                     be_speedup=0.5)),
+                      instructions=N, warmup=W)
+        jobs = sweep.expand()
+        assert sum(1 for j in jobs if j.kind == "baseline") == 1
+        assert sum(1 for j in jobs if j.kind == "flywheel") == 2
+
+    def test_dedup_preserves_order(self):
+        a, b = spec(), spec(bench="ijpeg")
+        assert dedup([a, b, a, b, a]) == [a, b]
+
+
+class TestStore:
+    def test_round_trip_exact_stats(self, tmp_path):
+        s = spec(kind="flywheel")
+        result = s.execute()
+        store = ResultStore(tmp_path)
+        store.put(s.cache_key(), s, result)
+        loaded = store.get(s.cache_key())
+        assert loaded is not None
+        assert loaded.stats.to_dict() == result.stats.to_dict()
+        assert loaded.stats.events == result.stats.events
+        assert loaded.clock == result.clock
+        assert loaded.kind == "flywheel"
+        assert loaded.l2_accesses == result.core.hierarchy.l2.stats.accesses
+        assert loaded.core is None
+
+    def test_detached_result_powers_energy_report(self, tmp_path):
+        from repro.power import TECH_130, energy_report
+
+        s = spec(kind="flywheel")
+        result = s.execute()
+        store = ResultStore(tmp_path)
+        store.put(s.cache_key(), s, result)
+        live = energy_report(result, TECH_130)
+        detached = energy_report(store.get(s.cache_key()), TECH_130)
+        assert detached.total_pj == pytest.approx(live.total_pj)
+        assert detached.by_event == live.by_event
+
+    def test_miss_and_hit_counters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        s = spec()
+        assert store.get(s.cache_key()) is None
+        store.put(s.cache_key(), s, s.execute())
+        assert store.get(s.cache_key()) is not None
+        assert (store.hits, store.misses, store.puts) == (1, 1, 1)
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        s = spec()
+        store.put(s.cache_key(), s, s.execute())
+        store._path(s.cache_key()).write_text("{not json")
+        assert store.get(s.cache_key()) is None
+
+    def test_len_and_clean(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for bench in ("smoke", "ijpeg"):
+            s = spec(bench=bench)
+            store.put(s.cache_key(), s, s.execute())
+        assert len(store) == 2
+        assert store.clean() == 2
+        assert len(store) == 0
+
+
+class TestCampaign:
+    def jobs(self):
+        return Sweep(benchmarks=("smoke",),
+                     clocks=(ClockPlan(), ClockPlan(fe_speedup=0.5,
+                                                    be_speedup=0.5)),
+                     instructions=N, warmup=W).expand()
+
+    def test_second_run_is_all_hits(self, tmp_path):
+        jobs = self.jobs()
+        first = run_campaign(jobs, store=ResultStore(tmp_path))
+        assert (first.hits, first.executed) == (0, len(jobs))
+        again = run_campaign(jobs, store=ResultStore(tmp_path))
+        assert (again.hits, again.executed) == (len(jobs), 0)
+        for job in jobs:
+            assert (again.result_for(job).stats.to_dict()
+                    == first.result_for(job).stats.to_dict())
+
+    def test_parallel_matches_serial(self):
+        jobs = [spec(seed=s) for s in (1, 2)] + \
+               [spec(kind="flywheel", seed=s) for s in (1, 2)]
+        serial = run_campaign(jobs, jobs=1)
+        parallel = run_campaign(jobs, jobs=2)
+        assert serial.executed == parallel.executed == len(jobs)
+        for job in jobs:
+            assert (serial.result_for(job).stats.to_dict()
+                    == parallel.result_for(job).stats.to_dict())
+
+    def test_overlapping_campaign_only_runs_new_jobs(self, tmp_path):
+        jobs = self.jobs()
+        run_campaign(jobs, store=ResultStore(tmp_path))
+        wider = jobs + [spec(bench="ijpeg")]
+        report = run_campaign(wider, store=ResultStore(tmp_path))
+        assert (report.hits, report.executed) == (len(jobs), 1)
+
+
+class TestExperimentContext:
+    def test_config_override_no_longer_aliases(self):
+        """Regression: same (bench, clock, tag) with different config=
+        used to silently return the stale cached result."""
+        from repro.experiments.common import ExperimentContext
+
+        ctx = ExperimentContext(instructions=N, warmup=W,
+                                benchmarks=("smoke",))
+        default = ctx.baseline("smoke")
+        shrunk = ctx.baseline("smoke", config=CoreConfig(iw_entries=8,
+                                                         issue_width=2))
+        assert shrunk is not default
+        assert shrunk.stats.to_dict() != default.stats.to_dict()
+        # Same for a flywheel fly= override.
+        full = ctx.flywheel("smoke")
+        tiny = ctx.flywheel("smoke", fly=FlywheelConfig(ec_kb=4))
+        assert tiny is not full
+
+    def test_warmed_context_executes_nothing(self, tmp_path):
+        from repro.campaign.presets import experiment_specs
+        from repro.experiments import fig11_same_clock, residency
+        from repro.experiments.common import ExperimentContext
+
+        benches = ("smoke",)
+        ctx = ExperimentContext(instructions=N, warmup=W, benchmarks=benches,
+                                store=ResultStore(tmp_path))
+        specs = experiment_specs(("fig11", "residency"), benchmarks=benches,
+                                 instructions=N, warmup=W)
+        ctx.warm(specs, jobs=2)
+        fig11_same_clock.run(ctx)
+        residency.run(ctx)
+        assert ctx.executed == 0
+
+    def test_campaign_tables_match_serial_path(self, tmp_path):
+        """The acceptance check in miniature: rows computed from a
+        parallel, store-backed campaign equal the serial in-process ones."""
+        from repro.campaign.presets import experiment_specs
+        from repro.experiments import fig12_performance
+        from repro.experiments.common import ExperimentContext
+
+        benches = ("smoke",)
+        serial_ctx = ExperimentContext(instructions=N, warmup=W,
+                                       benchmarks=benches)
+        serial_rows = fig12_performance.run(serial_ctx)
+
+        camp_ctx = ExperimentContext(instructions=N, warmup=W,
+                                     benchmarks=benches,
+                                     store=ResultStore(tmp_path))
+        camp_ctx.warm(experiment_specs(("fig12",), benchmarks=benches,
+                                       instructions=N, warmup=W), jobs=2)
+        camp_rows = fig12_performance.run(camp_ctx)
+        assert camp_rows == serial_rows
+        assert camp_ctx.executed == 0
+
+    def test_seed_threads_into_runs(self):
+        from repro.experiments.common import ExperimentContext
+
+        a = ExperimentContext(instructions=N, warmup=W, seed=1)
+        b = ExperimentContext(instructions=N, warmup=W, seed=2)
+        assert (a.baseline("smoke").stats.to_dict()
+                != b.baseline("smoke").stats.to_dict())
+
+
+class TestMemScaleSymmetry:
+    def test_flywheel_accepts_and_honours_mem_scale(self):
+        fast = run_flywheel("smoke", max_instructions=N, warmup=W,
+                            mem_scale=1.0)
+        slow = run_flywheel("smoke", max_instructions=N, warmup=W,
+                            mem_scale=8.0)
+        assert slow.stats.total_be_cycles > fast.stats.total_be_cycles
+
+    def test_matches_baseline_api(self):
+        base = run_baseline("smoke", max_instructions=N, warmup=W,
+                            mem_scale=8.0)
+        fly = run_flywheel("smoke", max_instructions=N, warmup=W,
+                           mem_scale=8.0)
+        assert base.stats.committed > 0 and fly.stats.committed > 0
+
+    def test_context_threads_mem_scale(self):
+        from repro.experiments.common import ExperimentContext
+
+        ctx = ExperimentContext(instructions=N, warmup=W)
+        near = ctx.flywheel("smoke")
+        far = ctx.flywheel("smoke", mem_scale=8.0)
+        assert far is not near
+        assert far.stats.total_be_cycles > near.stats.total_be_cycles
+
+
+class TestCampaignCli:
+    def run_cli(self, *argv):
+        from repro.campaign.__main__ import main
+
+        return main(list(argv))
+
+    def test_run_ls_export_clean(self, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        csv_path = str(tmp_path / "out.csv")
+        args = ["--experiments", "residency", "--benchmarks", "smoke",
+                "--instructions", str(N), "--warmup", str(W),
+                "--store", store, "--quiet"]
+        assert self.run_cli("run", *args) == 0
+        first = capsys.readouterr()
+        assert "0 from cache" in first.err
+
+        # Immediately repeated invocation: zero new simulations.
+        assert self.run_cli("run", *args) == 0
+        second = capsys.readouterr()
+        assert "1 from cache, 0 simulated" in second.err
+        assert "0 misses" in second.err
+        # ...and bit-identical tables.
+        assert second.out == first.out
+
+        assert self.run_cli("ls", "--store", store) == 0
+        assert "flywheel/smoke" in capsys.readouterr().out
+
+        assert self.run_cli("export", "--store", store, "--csv",
+                            csv_path) == 0
+        header, row = open(csv_path).read().strip().splitlines()
+        assert "ipc" in header and "smoke" in row
+
+        assert self.run_cli("clean", "--store", store) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_dry_run_lists_jobs(self, tmp_path, capsys):
+        assert self.run_cli(
+            "run", "--experiments", "fig11", "--benchmarks", "smoke",
+            "--instructions", str(N), "--warmup", str(W),
+            "--store", str(tmp_path), "--dry-run") == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 3  # base + 2 flywheel
+
+    def test_unknown_experiment_fails_cleanly(self, tmp_path, capsys):
+        assert self.run_cli("run", "--experiments", "fig99",
+                            "--store", str(tmp_path)) == 1
+        assert "unknown experiment" in capsys.readouterr().err
