@@ -1,10 +1,39 @@
 """Simulator-throughput microbenchmarks (not a paper figure).
 
-Tracks instructions-per-second of both cores so regressions in the
-simulator's own performance are caught.
+Tracks instructions-per-second of the cores so regressions in the
+simulator's own performance are caught. Two entry points:
+
+* pytest-benchmark tests (``pytest benchmarks/bench_sim_speed.py``) for
+  statistical tracking of the small smoke runs;
+* ``python benchmarks/bench_sim_speed.py [--out BENCH_core.json]`` runs a
+  larger, fixed-budget measurement per core kind and writes a
+  machine-readable ``BENCH_core.json`` so successive PRs have a
+  comparable cycles/sec trajectory. Program generation is excluded from
+  the timed region (it is identical across kinds and code versions).
+
+Reference points measured on the PR-1 tree (same protocol, same
+container class) before the engine refactor:
+``baseline/gcc ~64k cycles/s, flywheel/gcc ~69k cycles/s``.
 """
 
-from repro.core.sim import run_baseline, run_flywheel
+import json
+import sys
+import time
+
+from repro.core.sim import run_baseline, run_flywheel, run_pipelined_wakeup
+from repro.workloads import generate_program, get_profile
+
+#: Fixed measurement protocol for BENCH_core.json.
+BENCH_BENCHMARKS = ("gcc", "smoke")
+BENCH_INSTRUCTIONS = 30_000
+BENCH_WARMUP = 10_000
+BENCH_REPEATS = 3
+
+KIND_RUNNERS = (
+    ("baseline", run_baseline),
+    ("flywheel", run_flywheel),
+    ("pipelined_wakeup", run_pipelined_wakeup),
+)
 
 
 def test_baseline_sim_speed(benchmark):
@@ -19,3 +48,74 @@ def test_flywheel_sim_speed(benchmark):
         return run_flywheel("smoke", max_instructions=4000, warmup=1000)
     result = benchmark(run)
     assert result.stats.committed >= 4000
+
+
+def test_pipelined_wakeup_sim_speed(benchmark):
+    def run():
+        return run_pipelined_wakeup("smoke", max_instructions=4000,
+                                    warmup=1000)
+    result = benchmark(run)
+    assert result.stats.committed >= 4000
+
+
+def measure(benchmarks=BENCH_BENCHMARKS,
+            instructions=BENCH_INSTRUCTIONS,
+            warmup=BENCH_WARMUP,
+            repeats=BENCH_REPEATS) -> dict:
+    """Best-of-``repeats`` cycles/sec and instrs/sec per kind/benchmark."""
+    programs = {b: generate_program(get_profile(b)) for b in benchmarks}
+    series = {}
+    for kind, runner in KIND_RUNNERS:
+        for bench in benchmarks:
+            best = float("inf")
+            result = None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                result = runner(programs[bench],
+                                max_instructions=instructions,
+                                warmup=warmup)
+                best = min(best, time.perf_counter() - t0)
+            cycles = result.stats.total_be_cycles
+            series[f"{kind}/{bench}"] = {
+                "seconds": round(best, 4),
+                "cycles": cycles,
+                "cycles_per_sec": round(cycles / best),
+                "instrs_per_sec": round(result.stats.committed / best),
+            }
+    return {
+        "protocol": {
+            "benchmarks": list(benchmarks),
+            "instructions": instructions,
+            "warmup": warmup,
+            "repeats": repeats,
+            "timing": "best-of-repeats, program generation excluded",
+        },
+        "python": sys.version.split()[0],
+        "series": series,
+    }
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Measure per-kind simulator throughput and write a "
+                    "machine-readable report.")
+    parser.add_argument("--out", default="BENCH_core.json",
+                        help="output path (default: ./BENCH_core.json)")
+    parser.add_argument("--repeats", type=int, default=BENCH_REPEATS)
+    args = parser.parse_args(argv)
+
+    report = measure(repeats=args.repeats)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, row in sorted(report["series"].items()):
+        print(f"{name:28s} {row['cycles_per_sec']:>9,} cycles/s "
+              f"{row['instrs_per_sec']:>9,} instrs/s")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,10 +42,12 @@ from repro.core import (
     CoreConfig,
     FlywheelConfig,
     FlywheelCore,
+    PipelinedWakeupCore,
     SimResult,
     SimStats,
     run_baseline,
     run_flywheel,
+    run_pipelined_wakeup,
 )
 from repro.errors import (
     CampaignError,
@@ -68,6 +70,7 @@ __version__ = "1.0.0"
 __all__ = [
     "BaselineCore",
     "FlywheelCore",
+    "PipelinedWakeupCore",
     "ClockPlan",
     "CoreConfig",
     "FlywheelConfig",
@@ -75,6 +78,7 @@ __all__ = [
     "SimStats",
     "run_baseline",
     "run_flywheel",
+    "run_pipelined_wakeup",
     "energy_report",
     "PROFILES",
     "SPEC_NAMES",

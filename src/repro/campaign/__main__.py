@@ -71,9 +71,14 @@ def _cmd_run(args) -> int:
         specs = experiment_specs(names, benchmarks=ctx.benchmarks,
                                  instructions=ctx.instructions,
                                  warmup=ctx.warmup, seed=ctx.seed)
+        hits = 0
         for spec in specs:
-            print(f"{spec.cache_key()[:12]}  {spec.label}")
-        print(f"{len(specs)} jobs", file=sys.stderr)
+            key = spec.cache_key()
+            hit = key in ctx.store
+            hits += hit
+            print(f"{key[:12]}  {'hit ' if hit else 'miss'}  {spec.label}")
+        print(f"{len(specs)} jobs: {hits} cached, {len(specs) - hits} to "
+              f"simulate (store: {ctx.store.root})", file=sys.stderr)
         return 0
 
     report = warm_experiments(ctx, names, jobs=args.jobs,

@@ -19,7 +19,11 @@ from typing import Iterable, List, Optional, Sequence
 
 from repro.campaign.spec import RunSpec, dedup
 from repro.core.config import ClockPlan, CoreConfig
-from repro.core.sim import KIND_BASELINE, KIND_FLYWHEEL
+from repro.core.sim import (
+    KIND_BASELINE,
+    KIND_FLYWHEEL,
+    KIND_PIPELINED_WAKEUP,
+)
 from repro.errors import CampaignError
 from repro.experiments.common import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
 from repro.experiments.__main__ import EXPERIMENTS
@@ -69,7 +73,8 @@ def _fig2(bench, n, w, seed):
     return [
         _base(bench, n, w, seed),
         _base(bench, n, w, seed, config=CoreConfig(extra_frontend_stages=1)),
-        _base(bench, n, w, seed, config=CoreConfig(wakeup_extra_delay=1)),
+        RunSpec(kind=KIND_PIPELINED_WAKEUP, bench=bench, seed=seed,
+                instructions=n, warmup=w),
     ]
 
 

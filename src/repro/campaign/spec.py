@@ -31,17 +31,32 @@ from repro.core.sim import (
     DEFAULT_WARMUP,
     KIND_BASELINE,
     KIND_FLYWHEEL,
+    KIND_PIPELINED_WAKEUP,
     SimResult,
     default_config,
     run_baseline,
     run_flywheel,
+    run_pipelined_wakeup,
 )
 from repro.errors import CampaignError
 from repro.frontend.bpred import BPredConfig
 from repro.mem.hierarchy import MemoryConfig
 from repro.workloads.profiles import get_profile
 
-KINDS = (KIND_BASELINE, KIND_FLYWHEEL)
+#: Every valid run kind (spec validation).
+KINDS = (KIND_BASELINE, KIND_FLYWHEEL, KIND_PIPELINED_WAKEUP)
+
+#: Default sweep axis: the paper's headline comparison pair. The
+#: pipelined-wakeup machine is opt-in (it only appears in the Fig. 2
+#: loop study), so default sweeps don't silently grow a third leg.
+DEFAULT_SWEEP_KINDS = (KIND_BASELINE, KIND_FLYWHEEL)
+
+#: Runner per synchronous kind (the Flywheel needs the ``fly`` axis and
+#: keeps its own call in :meth:`RunSpec.execute`).
+_SYNC_RUNNERS = {
+    KIND_BASELINE: run_baseline,
+    KIND_PIPELINED_WAKEUP: run_pipelined_wakeup,
+}
 
 
 #: Subpackages whose code determines simulation output (and therefore
@@ -97,9 +112,9 @@ class RunSpec:
             raise CampaignError(
                 f"unknown run kind {self.kind!r}; expected one of {KINDS}")
         get_profile(self.bench)  # raises WorkloadError for unknown names
-        if self.kind == KIND_BASELINE and self.fly is not None:
+        if self.kind != KIND_FLYWHEEL and self.fly is not None:
             raise CampaignError(
-                f"baseline spec for {self.bench!r} cannot carry a "
+                f"{self.kind} spec for {self.bench!r} cannot carry a "
                 "FlywheelConfig")
         if self.instructions < 1 or self.warmup < 0:
             raise CampaignError("instruction budgets must be positive")
@@ -110,13 +125,19 @@ class RunSpec:
         # written with the defaults spelled out, so resolve them here and
         # let equality / hashing / dedup see through the difference.
         clock = self.clock or ClockPlan()
-        if self.kind == KIND_BASELINE:
-            # The synchronous baseline only sees base_mhz; dropping the
-            # speedup axes collapses the baseline leg of clock sweeps.
+        if self.kind != KIND_FLYWHEEL:
+            # The synchronous kinds only see base_mhz; dropping the
+            # speedup axes collapses their legs of clock sweeps.
             clock = ClockPlan(base_mhz=clock.base_mhz)
         object.__setattr__(self, "clock", clock)
-        object.__setattr__(self, "config",
-                           self.config or default_config(self.kind))
+        config = self.config or default_config(self.kind)
+        if (self.kind == KIND_PIPELINED_WAKEUP
+                and config.wakeup_extra_delay < 1):
+            # The core forces the pipelined loop; normalize here so the
+            # spec's payload/cache key/variant() describe the machine
+            # actually simulated.
+            config = config.with_variant(wakeup_extra_delay=1)
+        object.__setattr__(self, "config", config)
         if self.kind == KIND_FLYWHEEL:
             object.__setattr__(self, "fly", self.fly or FlywheelConfig())
 
@@ -186,13 +207,14 @@ class RunSpec:
 
     def execute(self) -> SimResult:
         """Run the simulation this spec describes (in this process)."""
-        if self.kind == KIND_BASELINE:
-            return run_baseline(
-                self.bench, config=self.config, clock=self.clock,
-                max_instructions=self.instructions, warmup=self.warmup,
-                seed=self.seed, mem_scale=self.mem_scale)
-        return run_flywheel(
-            self.bench, config=self.config, fly=self.fly, clock=self.clock,
+        if self.kind == KIND_FLYWHEEL:
+            return run_flywheel(
+                self.bench, config=self.config, fly=self.fly,
+                clock=self.clock, max_instructions=self.instructions,
+                warmup=self.warmup, seed=self.seed,
+                mem_scale=self.mem_scale)
+        return _SYNC_RUNNERS[self.kind](
+            self.bench, config=self.config, clock=self.clock,
             max_instructions=self.instructions, warmup=self.warmup,
             seed=self.seed, mem_scale=self.mem_scale)
 
@@ -256,7 +278,7 @@ class Sweep:
     ``python -m repro.campaign run``-warmed cache.
     """
 
-    kinds: Tuple[str, ...] = KINDS
+    kinds: Tuple[str, ...] = DEFAULT_SWEEP_KINDS
     benchmarks: Tuple[str, ...] = ()
     clocks: Tuple[Optional[ClockPlan], ...] = (None,)
     configs: Tuple[Optional[CoreConfig], ...] = (None,)

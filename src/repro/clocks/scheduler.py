@@ -29,6 +29,27 @@ class TickScheduler:
                 best = dom
         return best.advance(), best
 
+    def drain_until(self, dom: ClockDomain, horizon_ps: int) -> int:
+        """Skip ``dom`` ahead over its pending ticks before ``horizon_ps``.
+
+        Bulk-consumes every tick of ``dom`` with a timestamp *strictly*
+        before ``horizon_ps`` (ties are excluded: at equal timestamps the
+        scheduler hands the tick to the earlier-registered domain first,
+        whose handler may change the skipped domain's state). The caller
+        must have proven those ticks idle — e.g. a clock-gated front end
+        whose gating can only change on another domain's tick. Returns the
+        number of ticks skipped; ``dom.cycles`` advances by the same
+        amount, exactly as if :meth:`next_event` had popped each one.
+        """
+        start = dom.next_tick_ps
+        if start >= horizon_ps:
+            return 0
+        period = dom.period_ps
+        ticks = (horizon_ps - start + period - 1) // period
+        dom.next_tick_ps = start + ticks * period
+        dom.cycles += ticks
+        return ticks
+
     @property
     def now_ps(self) -> int:
         """Timestamp of the earliest pending tick (current sim time)."""

@@ -1,16 +1,25 @@
-"""Simulated cores: the fully synchronous baseline and the Flywheel.
+"""Simulated cores: the synchronous machines and the Flywheel.
 
-The baseline is the paper's reference design: a nine-stage, four-way
-superscalar out-of-order pipeline with a monolithic 128-entry issue window
-(R10000-style renaming). The Flywheel core adds the Dual Clock Issue
-Window and the Execution Cache with two-phase register renaming.
+All cores are thin compositions over the shared pipeline engine
+(:mod:`repro.core.engine`). The baseline is the paper's reference design:
+a nine-stage, four-way superscalar out-of-order pipeline with a monolithic
+128-entry issue window (R10000-style renaming). ``PipelinedWakeupCore`` is
+its Fig. 2 variant with the Wake-Up/Select loop pipelined. The Flywheel
+core adds the Dual Clock Issue Window and the Execution Cache with
+two-phase register renaming.
 """
 
 from repro.core.config import CoreConfig, FlywheelConfig, ClockPlan
 from repro.core.stats import SimStats
 from repro.core.baseline import BaselineCore
+from repro.core.pipelined import PipelinedWakeupCore
 from repro.core.flywheel import FlywheelCore
-from repro.core.sim import run_baseline, run_flywheel, SimResult
+from repro.core.sim import (
+    run_baseline,
+    run_flywheel,
+    run_pipelined_wakeup,
+    SimResult,
+)
 
 __all__ = [
     "CoreConfig",
@@ -18,8 +27,10 @@ __all__ = [
     "ClockPlan",
     "SimStats",
     "BaselineCore",
+    "PipelinedWakeupCore",
     "FlywheelCore",
     "run_baseline",
     "run_flywheel",
+    "run_pipelined_wakeup",
     "SimResult",
 ]

@@ -4,6 +4,12 @@ Pipeline (Section 3.1): Fetch (two-cycle I-cache) -> Decode -> Rename ->
 Dispatch -> Issue (monolithic 128-entry window, single-cycle Wake-Up/
 Select) -> Register Read -> Execute -> Write Back -> Retire.
 
+The back end — issue bookkeeping, FuPool/LSQ execution, writeback, ROB
+retire, deadlock watchdog — is the shared :mod:`repro.core.engine`; this
+module keeps only the synchronous machine's policy: single-clock ticking,
+R10000 renaming, and fetch that stalls on a mispredict until the branch
+resolves.
+
 Modelling decisions (documented in DESIGN.md):
 
 * Wrong paths are not executed: a mispredicted (or BTB-missing) branch
@@ -18,24 +24,20 @@ Modelling decisions (documented in DESIGN.md):
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Optional
 
 from repro.core.config import CoreConfig
+from repro.core.engine import DeadlockWatchdog, ExecBackend, FrontEndFeed
 from repro.core.stats import SimStats
-from repro.errors import SimulationError
-from repro.execute.fu import FuPool
-from repro.execute.lsq import LoadStoreQueue
 from repro.frontend.bpred import BranchPredictor
 from repro.isa import DynInstr, OpClass
-from repro.isa.opclasses import EXEC_LATENCY
 from repro.issue.window import IssueWindow
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.rename.r10k import R10KRenamer
-from repro.rob.reorder_buffer import ReorderBuffer, RobEntry
+from repro.rob.reorder_buffer import RobEntry
 from repro.workloads.stream import InstructionStream
 
-#: Abort the run if no instruction commits for this many cycles.
+#: Kind-specific default for ``CoreConfig.deadlock_window == 0``.
 _DEADLOCK_WINDOW = 20_000
 
 
@@ -49,31 +51,41 @@ class BaselineCore:
         self.stream = stream
         self.mem_scale = mem_scale
         self.stats = SimStats()
+        self._events = self.stats.events
 
         self.hierarchy = hierarchy or MemoryHierarchy(config.memory)
         self.bpred = BranchPredictor(config.bpred)
         self.renamer = R10KRenamer(config.phys_regs)
         self.iw = IssueWindow(config.iw_entries, config.issue_width,
                               config.wakeup_extra_delay)
-        self.rob = ReorderBuffer(config.rob_entries)
-        self.lsq = LoadStoreQueue(config.lsq_entries)
-        self.fu = FuPool(config.int_alus, config.int_muldivs,
-                         config.mem_ports, config.fp_adders,
-                         config.fp_muldivs)
+        self.fe = FrontEndFeed(config.fetch_width, config.decode_width,
+                               self.stats)
+        self.be = ExecBackend(config, self.stats, self.hierarchy,
+                              config.phys_regs)
+        self.watchdog = DeadlockWatchdog(
+            config.deadlock_window or _DEADLOCK_WINDOW)
 
-        # Scoreboard: physical-register readiness.
-        self._ready = bytearray([1] * config.phys_regs)
-        # In-flight ROB entries not yet issued, keyed by sequence number.
-        self._rob_lookup: Dict[int, RobEntry] = {}
+        # Engine structures, re-exposed under their historical names.
+        self.rob = self.be.rob
+        self.lsq = self.be.lsq
+        self.fu = self.be.fu
+        self.be.configure(self.iw, self._on_branch_resolved,
+                          self.renamer.commit_entry)
 
-        # Inter-stage latches: (ready_cycle, dyn) in program order.
-        self._fetch_out: Deque[Tuple[int, DynInstr]] = deque()
-        self._decode_out: Deque[Tuple[int, DynInstr]] = deque()
-        self._rename_out: Deque[Tuple[int, DynInstr]] = deque()
-
-        # Completion event queues keyed by cycle.
-        self._wake_events: Dict[int, List[int]] = {}
-        self._done_events: Dict[int, List[RobEntry]] = {}
+        # Hot-path bindings: per-cycle code reads these instead of
+        # chasing attribute chains (the objects never change identity).
+        self._fetch_out = self.fe.fetch_out
+        self._decode_out = self.fe.decode_out
+        self._rename_out = self.fe.rename_out
+        self._dispatch_width = config.dispatch_width
+        self._rename_width = config.rename_width
+        self._fetch_width = config.fetch_width
+        self._fetch_cap = self.fe._fetch_cap
+        self._extra_fe_stages = config.extra_frontend_stages
+        self._wakeup_gate = config.wakeup_extra_delay
+        self._next_instr = stream.next_instr
+        self._ifetch = self.hierarchy.ifetch
+        self._predict = self.bpred.predict
 
         self.cycle = 0
         self._fetch_blocked = False
@@ -91,19 +103,99 @@ class BaselineCore:
         """
         if warmup:
             self._functional_warmup(warmup)
-        last_commit_cycle = 0
-        while self.stats.committed < max_instructions:
-            committed_before = self.stats.committed
+        stats = self.stats
+        watchdog = self.watchdog
+        window = watchdog.window
+        last_cycle = 0
+        last_count = -1
+        iw = self.iw
+        rob_q = self.be._rob_q
+        while stats.committed < max_instructions:
             self.step()
-            if self.stats.committed != committed_before:
-                last_commit_cycle = self.cycle
-            elif self.cycle - last_commit_cycle > _DEADLOCK_WINDOW:
-                raise SimulationError(
-                    f"no commit for {_DEADLOCK_WINDOW} cycles at cycle "
-                    f"{self.cycle} (committed={self.stats.committed})"
-                )
+            c = self.cycle
+            committed = stats.committed
+            if committed != last_count:
+                last_count = committed
+                last_cycle = c
+                if committed >= max_instructions:
+                    break   # don't skip past the final commit's cycle
+            elif c - last_cycle > window:
+                watchdog.trip(c, committed)
+            # Skip ahead over provably idle cycles (mispredict stalls,
+            # long-latency load shadows with the machine backed up). The
+            # two cheap vetoes cover most busy cycles; the full stall
+            # analysis runs only behind them.
+            if iw._eligible or (rob_q and rob_q[0].done):
+                continue
+            target = self._idle_until(c)
+            if target is not None:
+                self.cycle = target
         self._finalize_stats()
-        return self.stats
+        return stats
+
+    def _idle_until(self, c: int):
+        """Earliest future cycle anything can happen, or None if the
+        machine can act at cycle ``c``.
+
+        Every stage is checked for actionability *now*; a stage blocked
+        on a latch timestamp bounds the skip by that timestamp, a stage
+        blocked on a structural resource (ROB/IW/LSQ full, empty free
+        list) unblocks only through a scheduled wake/done event, which
+        bounds the skip through the event queues. Skipped cycles touch
+        no state and no counters (the caller has already vetoed issue
+        and retire work).
+        """
+        be = self.be
+        bound = None
+        # Fetch: able to act unless stalled, delayed, or out of room.
+        if not self._fetch_blocked:
+            if c >= self._fetch_resume_cycle:
+                if len(self._fetch_out) < self._fetch_cap:
+                    return None
+            else:
+                bound = self._fetch_resume_cycle
+        fetch_out = self._fetch_out
+        if fetch_out:
+            rc = fetch_out[0].lat_ready
+            if rc <= c:
+                return None          # decode moves this cycle
+            if bound is None or rc < bound:
+                bound = rc
+        decode_out = self._decode_out
+        if decode_out:
+            dyn = decode_out[0]
+            rc = dyn.lat_ready
+            if rc <= c:
+                # Rename acts unless the head needs a tag and none free.
+                dest = dyn.dest
+                if not (dest is not None and dest != 0
+                        and not self.renamer._free):
+                    return None
+            elif bound is None or rc < bound:
+                bound = rc
+        rename_out = self._rename_out
+        if rename_out:
+            dyn = rename_out[0]
+            rc = dyn.lat_ready
+            if rc <= c:
+                iw = self.iw
+                if not (len(be._rob_q) >= be.rob.capacity
+                        or iw._count >= iw.capacity
+                        or (dyn.mem_addr is not None and be.lsq.full)):
+                    return None      # dispatch moves this cycle
+            elif bound is None or rc < bound:
+                bound = rc
+        future = self.iw._future
+        if future:
+            fmin = future[0][0]
+            if bound is None or fmin < bound:
+                bound = fmin
+        ev = be.next_event_cycle()
+        if ev is not None and (bound is None or ev < bound):
+            bound = ev
+        if bound is not None and bound > c:
+            return bound
+        return None
 
     def _finalize_stats(self) -> None:
         self.stats.be_cycles_create = self.cycle
@@ -111,173 +203,173 @@ class BaselineCore:
 
     def _functional_warmup(self, count: int) -> None:
         """Prime caches and predictor without timing."""
+        next_instr = self._next_instr
+        ifetch = self._ifetch
+        load = self.hierarchy.load
+        store = self.hierarchy.store
+        predict = self._predict
+        mem_scale = self.mem_scale
         for _ in range(count):
-            dyn = self.stream.next_instr()
+            dyn = next_instr()
             if dyn.seq % 4 == 0:
-                self.hierarchy.ifetch(dyn.pc, self.mem_scale)
-            if dyn.mem_addr is not None:
+                ifetch(dyn.pc, mem_scale)
+            addr = dyn.mem_addr
+            if addr is not None:
                 if dyn.op is OpClass.LOAD:
-                    self.hierarchy.load(dyn.mem_addr, self.mem_scale)
+                    load(addr, mem_scale)
                 else:
-                    self.hierarchy.store(dyn.mem_addr, self.mem_scale)
-            if dyn.is_branch:
-                self.bpred.predict(dyn)
+                    store(addr, mem_scale)
+            if dyn.branch_kind:
+                predict(dyn)
 
     # -------------------------------------------------------------- cycle
 
     def step(self) -> None:
-        """Advance one clock cycle."""
+        """Advance one clock cycle (the engine tick contract, single
+        domain: writeback -> commit -> issue -> dispatch -> rename ->
+        decode -> fetch, then the cycle counter advances). Stages with
+        provably no work this cycle are skipped up front."""
         c = self.cycle
-        self.fu.begin_cycle(c)
-        self._do_writeback(c)
-        self._do_commit(c)
-        self._do_issue(c)
-        self._do_dispatch(c)
-        self._do_rename(c)
-        self._do_decode(c)
-        self._do_fetch(c)
+        self.be.tick(c, self.mem_scale)
+        if self.iw._count and not (self._wakeup_gate and (c & 1)):
+            self._do_issue(c)
+        if self._rename_out:
+            self._do_dispatch(c)
+        if self._decode_out:
+            self._do_rename(c)
+        if self._fetch_out:
+            self.fe.decode(c)
+        if not self._fetch_blocked and c >= self._fetch_resume_cycle:
+            self._do_fetch(c)
         self.cycle = c + 1
 
-    # Writeback: mature tag broadcasts and completions.
-    def _do_writeback(self, c: int) -> None:
-        wakes = self._wake_events.pop(c, None)
-        if wakes:
-            for tag in wakes:
-                self._ready[tag] = 1
-                self.iw.broadcast(tag, c)
-            self.stats.count("iw_broadcast", len(wakes))
-            self.stats.count("rf_write", len(wakes))
-        dones = self._done_events.pop(c, None)
-        if dones:
-            for entry in dones:
-                entry.done = True
-                if entry.mispredicted and entry.dyn.seq == self._mispredict_seq:
-                    self._mispredict_seq = -1
-                    self._fetch_blocked = False
-                    self._fetch_resume_cycle = c + 1
-
-    def _do_commit(self, c: int) -> None:
-        retired = self.rob.retire_ready(self.config.commit_width)
-        for entry in retired:
-            dyn = entry.dyn
-            if dyn.op is OpClass.STORE and dyn.mem_addr is not None:
-                self.hierarchy.store(dyn.mem_addr, self.mem_scale)
-                self.stats.count("dcache_access")
-            if entry.is_mem:
-                self.lsq.release()
-            self.renamer.commit(dyn)
-            self.stats.committed += 1
-        if retired:
-            self.stats.count("rob_read", len(retired))
+    # Writeback hook: the blocking branch resolved — restart fetch.
+    def _on_branch_resolved(self, entry: RobEntry, c: int) -> None:
+        if entry.dyn.seq == self._mispredict_seq:
+            self._mispredict_seq = -1
+            self._fetch_blocked = False
+            self._fetch_resume_cycle = c + 1
 
     def _do_issue(self, c: int) -> None:
-        # Pipelining the Wake-Up/Select loop without speculative wakeup
-        # (Fig. 2) both delays dependents by a cycle (handled in the
-        # window) and lets a selection round complete only every other
-        # cycle: the previous round's grants are not visible to the
-        # arbiter until the loop closes.
-        if self.config.wakeup_extra_delay and (c & 1):
+        # The caller applies the Fig. 2 selection gate: pipelining the
+        # Wake-Up/Select loop without speculative wakeup both delays
+        # dependents by a cycle (handled in the window) and lets a
+        # selection round complete only every other cycle — the previous
+        # round's grants are not visible to the arbiter until the loop
+        # closes.
+        be = self.be
+        selected = self.iw.select(c, be.fu)
+        if not selected:
             return
-        selected = self.iw.select(c, self.fu)
-        for dyn in selected:
-            self._start_execution(dyn, c)
-        if selected:
-            self.stats.issued += len(selected)
-            self.stats.count("iw_select", len(selected))
-            self.stats.count("rf_read", sum(len(d.src_tags) for d in selected))
-            self.stats.count("fu_op", len(selected))
-
-    def _start_execution(self, dyn: DynInstr, c: int) -> None:
-        """Schedule wake/done events for one issued instruction."""
-        lat = EXEC_LATENCY[dyn.op]
-        if dyn.op is OpClass.LOAD:
-            lat += self.hierarchy.load(dyn.mem_addr, self.mem_scale)
-            self.stats.count("dcache_access")
-        wake = c + lat
-        done = wake + self.config.regread_stages
-        if dyn.dest_tag >= 0:
-            self._wake_events.setdefault(wake, []).append(dyn.dest_tag)
-        entry = self._rob_lookup[dyn.seq]
-        self._done_events.setdefault(done, []).append(entry)
-        del self._rob_lookup[dyn.seq]
+        rf_reads = be.schedule_group(selected, c, self.mem_scale)
+        n = len(selected)
+        self.stats.issued += n
+        events = self._events
+        events["iw_select"] += n
+        events["rf_read"] += rf_reads
+        events["fu_op"] += n
 
     def _do_dispatch(self, c: int) -> None:
+        rename_out = self._rename_out
+        be = self.be
+        iw = self.iw
+        rob = be.rob
+        lsq = be.lsq
+        rob_q = be._rob_q
+        rob_cap = rob.capacity
+        iw_cap = iw.capacity
+        pending = be.pending
+        ready = be.ready_getter
+        events = self._events
+        earliest = c + 1
         n = 0
-        while self._rename_out and n < self.config.dispatch_width:
-            ready_cycle, dyn = self._rename_out[0]
-            if ready_cycle > c:
+        while rename_out and n < self._dispatch_width:
+            dyn = rename_out[0]
+            if dyn.lat_ready > c:
                 break
-            if self.rob.full or self.iw.free_slots == 0:
+            if len(rob_q) >= rob_cap or iw._count >= iw_cap:
                 break
-            if dyn.mem_addr is not None and self.lsq.full:
+            if dyn.mem_addr is not None and lsq.full:
                 break
-            self._rename_out.popleft()
-            mispredicted = dyn.seq == self._mispredict_seq
-            entry = RobEntry(dyn, mispredicted=mispredicted)
-            self.rob.insert(entry)
-            self._rob_lookup[dyn.seq] = entry
-            if dyn.mem_addr is not None:
-                self.lsq.insert()
-                self.stats.count("lsq_write")
-            self.iw.insert(dyn, self._is_ready, earliest=c + 1)
-            self.stats.count("iw_write")
-            self.stats.count("rob_write")
+            rename_out.popleft()
+            entry = RobEntry(dyn,
+                             mispredicted=dyn.seq == self._mispredict_seq)
+            # Inline ExecBackend.admit (capacity checked above); this is
+            # the hottest per-instruction loop in the synchronous cores.
+            rob_q.append(entry)
+            rob.writes += 1
+            pending[dyn.seq] = entry
+            if entry.is_mem:
+                lsq.insert()
+                events["lsq_write"] += 1
+            events["rob_write"] += 1
+            iw.insert(dyn, ready, earliest)
+            events["iw_write"] += 1
             n += 1
-
-    def _is_ready(self, tag: int) -> bool:
-        return bool(self._ready[tag])
 
     def _do_rename(self, c: int) -> None:
+        decode_out = self._decode_out
+        rename_out = self._rename_out
+        renamer = self.renamer
+        free_tags = renamer._free
+        ready = self.be.ready
+        events = self._events
+        reg_map = renamer._map
         n = 0
-        while self._decode_out and n < self.config.rename_width:
-            ready_cycle, dyn = self._decode_out[0]
-            if ready_cycle > c:
+        while decode_out and n < self._rename_width:
+            dyn = decode_out[0]
+            if dyn.lat_ready > c:
                 break
-            needs_dest = dyn.dest is not None and dyn.dest != 0
-            if not self.renamer.can_rename(needs_dest):
-                break
-            self._decode_out.popleft()
-            self.renamer.rename(dyn)
-            if dyn.dest_tag >= 0:
-                self._ready[dyn.dest_tag] = 0
-            self._rename_out.append((c + 1, dyn))
-            self.stats.count("rename_op")
-            n += 1
-
-    def _do_decode(self, c: int) -> None:
-        n = 0
-        while self._fetch_out and n < self.config.decode_width:
-            ready_cycle, dyn = self._fetch_out[0]
-            if ready_cycle > c:
-                break
-            self._fetch_out.popleft()
-            self._decode_out.append((c + 1, dyn))
-            self.stats.count("decode_op")
+            # Inline R10KRenamer.can_rename + rename: this runs once per
+            # instruction and the renamer's map/free-list objects are
+            # stable.
+            dest = dyn.dest
+            if dest is None or dest == 0:
+                decode_out.popleft()
+                dyn.src_tags = tuple([reg_map[s] for s in dyn.srcs])
+                dyn.dest_tag = -1
+                dyn.old_dest_tag = -1
+            else:
+                if not free_tags:
+                    break
+                decode_out.popleft()
+                dyn.src_tags = tuple([reg_map[s] for s in dyn.srcs])
+                tag = free_tags.popleft()
+                dyn.old_dest_tag = reg_map[dest]
+                reg_map[dest] = tag
+                dyn.dest_tag = tag
+                ready[tag] = 0
+            dyn.lat_ready = c + 1
+            rename_out.append(dyn)
+            events["rename_op"] += 1
             n += 1
 
     def _do_fetch(self, c: int) -> None:
-        if self._fetch_blocked or c < self._fetch_resume_cycle:
+        # The caller has already checked the stall/resume gates.
+        fetch_out = self._fetch_out
+        if len(fetch_out) >= self._fetch_cap:
             return
-        # Bounded fetch-side buffering: don't run ahead of the machine.
-        if len(self._fetch_out) >= 4 * self.config.fetch_width:
-            return
-        group_start: Optional[int] = None
+        stats = self.stats
+        events = self._events
+        next_instr = self._next_instr
         delay = 0
-        for _ in range(self.config.fetch_width):
-            dyn = self.stream.next_instr()
-            if group_start is None:
-                group_start = dyn.pc
-                delay = (self.hierarchy.ifetch(dyn.pc, self.mem_scale)
-                         + self.config.extra_frontend_stages)
-                self.stats.count("icache_access")
-            self._fetch_out.append((c + delay, dyn))
-            self.stats.fetched += 1
-            if dyn.is_branch:
-                self.stats.branches += 1
-                self.stats.count("bpred_lookup")
-                correct = self.bpred.predict(dyn)
+        n = 0
+        for _ in range(self._fetch_width):
+            dyn = next_instr()
+            if not n:
+                delay = (self._ifetch(dyn.pc, self.mem_scale)
+                         + self._extra_fe_stages)
+                events["icache_access"] += 1
+            dyn.lat_ready = c + delay
+            fetch_out.append(dyn)
+            n += 1
+            if dyn.branch_kind:
+                stats.branches += 1
+                events["bpred_lookup"] += 1
+                correct = self._predict(dyn)
                 if not correct:
-                    self.stats.mispredicts += 1
+                    stats.mispredicts += 1
                     self._fetch_blocked = True
                     self._mispredict_seq = dyn.seq
                 break  # fetch group ends at a control transfer
+        stats.fetched += n

@@ -85,6 +85,12 @@ class CoreConfig(_CacheKeyMixin):
     extra_frontend_stages: int = 0   # extra Fetch/Mispredict loop stages
     wakeup_extra_delay: int = 0      # 1 = pipelined Wake-Up/Select (no b2b)
 
+    #: Abort the run if no instruction commits for this many cycles.
+    #: 0 selects the kind-specific default (20k for synchronous cores,
+    #: 40k for the Flywheel, whose checkpoint/drain sequences legitimately
+    #: stall longer).
+    deadlock_window: int = 0
+
     # Substrates
     bpred: BPredConfig = field(default_factory=BPredConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
@@ -96,6 +102,8 @@ class CoreConfig(_CacheKeyMixin):
             raise ConfigError("too few physical registers to rename at all")
         if self.iw_entries < self.issue_width:
             raise ConfigError("issue window smaller than issue width")
+        if self.deadlock_window < 0:
+            raise ConfigError("deadlock_window must be >= 0 (0 = default)")
 
     def with_variant(self, **kw) -> "CoreConfig":
         """Return a copy with some fields replaced (pipeline variants)."""

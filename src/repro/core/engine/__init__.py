@@ -1,0 +1,30 @@
+"""Shared cycle-level pipeline engine.
+
+Every simulated machine in this repository is a composition of the same
+back-end mechanics — an issue window feeding FuPool + LSQ execution, wake
+/done event queues, an in-order ROB retire — behind a per-cycle ``tick``
+contract (see :mod:`repro.core.engine.backend` for the stage order). The
+engine package factors those mechanics out of the cores:
+
+* :class:`FrontEndFeed` — fetch/decode/rename latches + the Decode stage.
+* :class:`ExecBackend`  — scoreboard, ROB/LSQ/FU structures, writeback,
+  execution scheduling and retire, with policy hooks.
+* :class:`DeadlockWatchdog` — the forward-progress abort, configured via
+  ``CoreConfig.deadlock_window``.
+
+Cores (``BaselineCore``, ``FlywheelCore``, ``PipelinedWakeupCore``) keep
+only their policy: fetch/trace boundaries, renaming scheme, issue timing,
+clocking. The engine is timing-transparent — composing a core from it
+must not change a single stat (pinned by tests/test_golden_stats.py).
+
+Hot-loop discipline: stage code uses the op-indexed tables from
+:mod:`repro.isa.opclasses` (no per-cycle dict lookups on enum keys),
+touches ``SimStats.events`` directly, and keeps per-instruction objects
+slotted. See DESIGN.md for the full contract.
+"""
+
+from repro.core.engine.backend import ExecBackend
+from repro.core.engine.frontend import FrontEndFeed
+from repro.core.engine.watchdog import DeadlockWatchdog
+
+__all__ = ["ExecBackend", "FrontEndFeed", "DeadlockWatchdog"]

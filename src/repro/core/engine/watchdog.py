@@ -1,0 +1,46 @@
+"""Forward-progress watchdog shared by every core kind.
+
+Each core used to hand-roll its own deadlock check with its own window
+constant; the watchdog unifies them behind ``CoreConfig.deadlock_window``
+(0 = the kind-specific default the core passes in).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class DeadlockWatchdog:
+    """Abort the run when no instruction commits for ``window`` cycles.
+
+    ``poll`` is called once per cycle (or per back-end tick) with the
+    current cycle number and committed-instruction count; ``describe``
+    supplies the core-specific context appended to the error message.
+    """
+
+    __slots__ = ("window", "_last_cycle", "_last_count")
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise SimulationError(f"deadlock window must be >= 1: {window}")
+        self.window = window
+        self._last_cycle = 0
+        self._last_count = -1
+
+    def poll(self, cycle: int, committed: int,
+             describe: Optional[Callable[[], str]] = None) -> None:
+        if committed != self._last_count:
+            self._last_count = committed
+            self._last_cycle = cycle
+        elif cycle - self._last_cycle > self.window:
+            self.trip(cycle, committed, describe)
+
+    def trip(self, cycle: int, committed: int,
+             describe: Optional[Callable[[], str]] = None) -> None:
+        """Raise the deadlock error (run loops inline the cheap check)."""
+        detail = describe() if describe is not None else (
+            f" at cycle {cycle} (committed={committed})")
+        raise SimulationError(
+            f"no commit for {self.window} cycles{detail}")

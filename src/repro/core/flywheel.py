@@ -21,6 +21,13 @@ drain the machine, seal the trace into the EC, perform the RT checkpoint
 (FRT after a mispredict, the one-cycle SRT swap after a natural end) and
 either start a replay (EC hit) or restart the front-end (miss).
 
+The common back-end mechanics — scoreboard, wake/done queues, FuPool/LSQ
+execution, ROB retire, the deadlock watchdog — live in
+:mod:`repro.core.engine`; this module keeps the Flywheel policy: the dual
+clock domains (with the :class:`TickScheduler` skipping the gated front
+end ahead in bulk), two-phase renaming, and the trace-creation/replay
+state machine.
+
 Modelled simplifications, documented in DESIGN.md: wrong paths during
 creation are fetch stalls (as in the baseline); in replay, recorded
 instructions past the diverging branch issue for timing/power but carry no
@@ -37,25 +44,27 @@ from repro.clocks.domain import ClockDomain
 from repro.clocks.scheduler import TickScheduler
 from repro.clocks.synchronizer import SyncFifo
 from repro.core.config import ClockPlan, CoreConfig, FlywheelConfig
+from repro.core.engine import DeadlockWatchdog, ExecBackend, FrontEndFeed
 from repro.core.stats import SimStats
 from repro.ec.builder import TraceBuilder
 from repro.ec.cache import ExecutionCache
 from repro.ec.fill_buffer import FillBuffer
 from repro.ec.trace import Trace, TraceInstr
 from repro.errors import SimulationError
-from repro.execute.fu import FuPool
-from repro.execute.lsq import LoadStoreQueue
 from repro.frontend.bpred import BranchPredictor
 from repro.isa import DynInstr, OpClass
-from repro.isa.opclasses import EXEC_LATENCY, FU_KIND, UNPIPELINED
+from repro.isa.opclasses import EXEC_LATENCY_TAB, FU_KIND_TAB, UNPIPELINED_TAB
 from repro.issue.dual_clock import DualClockIssueWindow
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.rename.pools import PoolFile
 from repro.rename.redistribution import RedistributionController
 from repro.rename.two_phase import TwoPhaseRenamer
-from repro.rob.reorder_buffer import ReorderBuffer, RobEntry
+from repro.rob.reorder_buffer import RobEntry
 from repro.workloads.stream import InstructionStream
 
+#: Kind-specific default for ``CoreConfig.deadlock_window == 0``; the
+#: Flywheel's checkpoint/drain sequences legitimately stall longer than
+#: the synchronous cores.
 _DEADLOCK_WINDOW = 40_000
 
 
@@ -75,7 +84,8 @@ class _Replay:
 
     __slots__ = ("trace", "records", "paired", "valid_count", "div_pos",
                  "unit_idx", "alloc_ptr", "entries", "branch_resolved",
-                 "valid_issued", "next_pc", "decision", "next_trace")
+                 "valid_issued", "next_pc", "decision", "next_trace",
+                 "n_units")
 
     def __init__(self, trace: Trace, records: List[TraceInstr],
                  paired: List[DynInstr], div_pos: int):
@@ -84,6 +94,7 @@ class _Replay:
         self.paired = paired                 # program-order dynamic instrs
         self.valid_count = len(paired)
         self.div_pos = div_pos               # -1 = no divergence
+        self.n_units = len(trace.units)
         self.unit_idx = 0
         self.alloc_ptr = 0
         self.entries: Dict[int, RobEntry] = {}   # trace pos -> ROB entry
@@ -122,6 +133,7 @@ class FlywheelCore:
         #: applied on top of the per-domain clock scaling below.
         self.mem_scale = mem_scale
         self.stats = SimStats()
+        self._events = self.stats.events
 
         self.hierarchy = hierarchy or MemoryHierarchy(config.memory)
         self.bpred = BranchPredictor(config.bpred)
@@ -135,11 +147,16 @@ class FlywheelCore:
             config.iw_entries, config.issue_width,
             config.wakeup_extra_delay, tag_window=fly.tag_window,
             delay_network=fly.delay_network)
-        self.rob = ReorderBuffer(config.rob_entries)
-        self.lsq = LoadStoreQueue(config.lsq_entries)
-        self.fu = FuPool(config.int_alus, config.int_muldivs,
-                         config.mem_ports, config.fp_adders,
-                         config.fp_muldivs)
+        self.be = ExecBackend(config, self.stats, self.hierarchy,
+                              fly.pool_regs)
+        self.watchdog = DeadlockWatchdog(
+            config.deadlock_window or _DEADLOCK_WINDOW)
+        # Engine structures, re-exposed under their historical names.
+        self.rob = self.be.rob
+        self.lsq = self.be.lsq
+        self.fu = self.be.fu
+        self.be.configure(self.iw, self._on_branch_resolved,
+                          self._commit_entry)
         self.ec = ExecutionCache(fly)
         self.builder = TraceBuilder(fly.ec_block_slots, fly.max_trace_units)
         self.fill = FillBuffer(fly.ec_block_slots, fly.ec_latency)
@@ -149,23 +166,29 @@ class FlywheelCore:
         self.be_dom = ClockDomain("be", clock.be_mhz)
         self.sched = TickScheduler([self.be_dom, self.fe_dom])
 
-        # Scoreboard over the pooled physical register file.
-        self._ready = bytearray([1] * fly.pool_regs)
+        # DRAM-latency multipliers per back-end mode; ``_be_scale`` tracks
+        # the current mode so the hot loops read one attribute instead of
+        # recomputing the product every tick.
+        self._fe_scale = clock.mem_scale(clock.fe_mhz) * mem_scale
+        self._scale_create = clock.mem_scale(clock.be_mhz) * mem_scale
+        self._scale_execute = (clock.mem_scale(clock.be_fast_mhz)
+                               * mem_scale)
+        self._be_scale = self._scale_create
 
         # FE-side latches (stamped in FE cycles) and the dual-clock FIFOs.
-        self._fetch_out: Deque[Tuple[int, DynInstr]] = deque()
-        self._decode_out: Deque[Tuple[int, DynInstr]] = deque()
-        self._rename_out: Deque[Tuple[int, DynInstr]] = deque()
+        self.fe = FrontEndFeed(config.fetch_width, config.decode_width,
+                               self.stats)
+        self._fetch_out = self.fe.fetch_out
+        self._decode_out = self.fe.decode_out
+        self._rename_out = self.fe.rename_out
         self._dispatch_fifo: SyncFifo[DynInstr] = SyncFifo("dispatch", 16)
+        self._dispatch_q = self._dispatch_fifo._queue
+        self._redirect_q = None   # bound below, after the FIFO exists
         #: fetch-restart messages, tagged with the block epoch they belong
         #: to: a redirect issued before a newer fetch stop must not unblock
         self._redirect_fifo: SyncFifo[int] = SyncFifo("redirect")
+        self._redirect_q = self._redirect_fifo._queue
         self._block_epoch = 0
-
-        # BE event queues keyed by BE cycle index.
-        self._wake_events: Dict[int, List[int]] = {}
-        self._done_events: Dict[int, List[RobEntry]] = {}
-        self._unissued: Dict[int, RobEntry] = {}    # seq -> entry (CREATE)
 
         # Oracle plumbing: pushed-back instructions are consumed first.
         self._oracle_buffer: Deque[DynInstr] = deque()
@@ -211,40 +234,88 @@ class FlywheelCore:
         """Simulate until ``max_instructions`` commit after warmup."""
         if warmup:
             self._functional_warmup(warmup)
-        last_commit_be = 0
+        stats = self.stats
+        watchdog = self.watchdog
+        window = watchdog.window
+        last_cycle = 0
+        last_count = -1
+        sched = self.sched
+        be_dom = self.be_dom
+        fe_dom = self.fe_dom
+        be_tick = self._be_tick
+        fe_tick = self._fe_tick
         now_ps = 0
-        while self.stats.committed < max_instructions:
-            before = self.stats.committed
-            now_ps, dom = self.sched.next_event()
-            if dom is self.be_dom:
-                self._be_tick(now_ps)
+        # The two-domain scheduler pop is inlined (ties go to the BE
+        # domain, which is registered first — same as TickScheduler).
+        while stats.committed < max_instructions:
+            now_ps = be_dom.next_tick_ps
+            if now_ps <= fe_dom.next_tick_ps:
+                be_dom.next_tick_ps = now_ps + be_dom.period_ps
+                be_dom.cycles += 1
+                be_tick(now_ps)
+                committed = stats.committed
+                if committed != last_count:
+                    last_count = committed
+                    last_cycle = be_dom.cycles
+                    if committed >= max_instructions:
+                        break   # don't skip past the final commit's tick
+                elif be_dom.cycles - last_cycle > window:
+                    watchdog.trip(be_dom.cycles, committed,
+                                  self._deadlock_detail)
+                # Replay-mode skip-ahead: with the FE clock-gated, a BE
+                # tick that can only wait for a scheduled wake/done event
+                # or a fill-buffer arrival is provably inert. Skipped
+                # ticks still count as execute cycles.
+                replay = self._replay
+                if replay is not None and self._fe_gated:
+                    c = be_dom.cycles
+                    if c >= self._be_stall_until:
+                        target = self._replay_idle_until(replay, c)
+                        if target is not None:
+                            ticks = target - 1 - c
+                            if ticks > 0:
+                                be_dom.cycles = c + ticks
+                                be_dom.next_tick_ps += (ticks
+                                                        * be_dom.period_ps)
+                                stats.be_cycles_execute += ticks
+            elif self._fe_gated:
+                # Clock-gated front end: gating only changes on a BE tick,
+                # so every FE tick strictly before the next BE tick is
+                # provably idle — let the scheduler skip ahead in bulk.
+                now_ps = fe_dom.next_tick_ps
+                ticks = sched.drain_until(fe_dom, be_dom.next_tick_ps)
+                fe_dom.gated_cycles += ticks
+                stats.fe_cycles_gated += ticks
             else:
-                self._fe_tick(now_ps)
-            if self.stats.committed != before:
-                last_commit_be = self.be_dom.cycles
-            elif self.be_dom.cycles - last_commit_be > _DEADLOCK_WINDOW:
-                raise SimulationError(
-                    f"no commit for {_DEADLOCK_WINDOW} BE cycles "
-                    f"(mode={self.mode}, boundary={self._boundary}, "
-                    f"rob={len(self.rob)}, iw={len(self.iw)}, "
-                    f"fifo={len(self._dispatch_fifo)})"
-                )
-        self.stats.sim_time_ps = now_ps
-        return self.stats
+                now_ps = fe_dom.advance()
+                fe_tick(now_ps)
+        stats.sim_time_ps = now_ps
+        return stats
+
+    def _deadlock_detail(self) -> str:
+        return (f" (BE cycles; mode={self.mode}, "
+                f"boundary={self._boundary}, rob={len(self.rob)}, "
+                f"iw={len(self.iw)}, fifo={len(self._dispatch_fifo)})")
 
     def _functional_warmup(self, count: int) -> None:
-        fe_scale = self.clock.mem_scale(self.clock.fe_mhz) * self.mem_scale
+        fe_scale = self._fe_scale
+        next_instr = self.stream.next_instr
+        ifetch = self.hierarchy.ifetch
+        load = self.hierarchy.load
+        store = self.hierarchy.store
+        predict = self.bpred.predict
         for _ in range(count):
-            dyn = self.stream.next_instr()
+            dyn = next_instr()
             if dyn.seq % 4 == 0:
-                self.hierarchy.ifetch(dyn.pc, fe_scale)
-            if dyn.mem_addr is not None:
+                ifetch(dyn.pc, fe_scale)
+            addr = dyn.mem_addr
+            if addr is not None:
                 if dyn.op is OpClass.LOAD:
-                    self.hierarchy.load(dyn.mem_addr)
+                    load(addr)
                 else:
-                    self.hierarchy.store(dyn.mem_addr)
-            if dyn.is_branch:
-                self.bpred.predict(dyn)
+                    store(addr)
+            if dyn.branch_kind:
+                predict(dyn)
 
     def _next_oracle(self) -> DynInstr:
         if self._oracle_buffer:
@@ -260,74 +331,79 @@ class FlywheelCore:
             return
         self.stats.fe_cycles_active += 1
         fe_c = self.fe_dom.cycles
-        for epoch in self._redirect_fifo.pop_ready(now_ps):
-            if epoch == self._block_epoch:
-                self._fetch_blocked = False
-        self._fe_dispatch(fe_c, now_ps)
-        self._fe_rename(fe_c)
-        self._fe_decode(fe_c)
-        self._fe_fetch(fe_c)
+        if self._redirect_q:
+            for epoch in self._redirect_fifo.pop_ready(now_ps):
+                if epoch == self._block_epoch:
+                    self._fetch_blocked = False
+        if self._rename_out:
+            self._fe_dispatch(fe_c, now_ps)
+        if self._decode_out:
+            self._fe_rename(fe_c)
+        if self._fetch_out:
+            self.fe.decode(fe_c)
+        if not (self._fetch_blocked or self._applying_redist):
+            self._fe_fetch(fe_c)
 
     def _fe_dispatch(self, fe_c: int, now_ps: int) -> None:
+        rename_out = self._rename_out
+        fifo = self._dispatch_fifo
         latency_ps = self.fly.sync_cycles * self.be_dom.period_ps
+        events = self._events
         n = 0
-        while self._rename_out and n < self.config.dispatch_width:
-            ready_cycle, dyn = self._rename_out[0]
-            if ready_cycle > fe_c or self._dispatch_fifo.full:
+        while rename_out and n < self.config.dispatch_width:
+            dyn = rename_out[0]
+            if dyn.lat_ready > fe_c or fifo.full:
                 break
-            self._rename_out.popleft()
-            self._dispatch_fifo.push(dyn, now_ps, latency_ps)
-            self.stats.count("sync_fifo_push")
+            rename_out.popleft()
+            fifo.push(dyn, now_ps, latency_ps)
+            events["sync_fifo_push"] += 1
             n += 1
 
     def _fe_rename(self, fe_c: int) -> None:
         if self._applying_redist:
             return   # hold renaming while pools are being resized
+        decode_out = self._decode_out
+        rename_out = self._rename_out
+        renamer = self.renamer
+        events = self._events
         n = 0
-        while self._decode_out and n < self.config.rename_width:
-            ready_cycle, dyn = self._decode_out[0]
-            if ready_cycle > fe_c:
+        while decode_out and n < self.config.rename_width:
+            dyn = decode_out[0]
+            if dyn.lat_ready > fe_c:
                 break
             if dyn.trace_start:
                 # Phase-1 state restarts with the trace (Section 3.5).
-                self.renamer.reset_lids()
+                renamer.reset_lids()
                 self._trace_pos_counter = 0
                 dyn.trace_start = True
-            if not self.renamer.can_rename_dest(dyn):
+            if not renamer.can_rename_dest(dyn):
                 self.stats.rename_pool_stalls += 1
                 break
-            self._decode_out.popleft()
-            self.renamer.rename(dyn)
+            decode_out.popleft()
+            renamer.rename(dyn)
             dyn.trace_pos = self._trace_pos_counter
             self._trace_pos_counter += 1
-            self._rename_out.append((fe_c + 1, dyn))
-            self.stats.count("rename_op")
-            n += 1
-
-    def _fe_decode(self, fe_c: int) -> None:
-        n = 0
-        while self._fetch_out and n < self.config.decode_width:
-            ready_cycle, dyn = self._fetch_out[0]
-            if ready_cycle > fe_c:
-                break
-            self._fetch_out.popleft()
-            self._decode_out.append((fe_c + 1, dyn))
-            self.stats.count("decode_op")
+            dyn.lat_ready = fe_c + 1
+            rename_out.append(dyn)
+            events["rename_op"] += 1
             n += 1
 
     def _fe_fetch(self, fe_c: int) -> None:
-        if self._fetch_blocked or self._applying_redist:
+        # The caller has already checked the stall/redistribution gates.
+        fe = self.fe
+        if not fe.fetch_room:
             return
-        if len(self._fetch_out) >= 4 * self.config.fetch_width:
-            return
-        fe_scale = self.clock.mem_scale(self.clock.fe_mhz) * self.mem_scale
+        fetch_out = self._fetch_out
+        stats = self.stats
+        events = self._events
+        fe_scale = self._fe_scale
         delay = 0
         for i in range(self.config.fetch_width):
             dyn = self._next_oracle()
             if i == 0:
                 delay = (self.hierarchy.ifetch(dyn.pc, fe_scale)
                          + self.config.extra_frontend_stages)
-                self.stats.count("icache_access")
+                events["icache_access"] += 1
             if self._fe_new_trace:
                 dyn.trace_start = True
                 self._fe_new_trace = False
@@ -336,14 +412,15 @@ class FlywheelCore:
             dyn.trace_gen = self._fe_gen
             self._pre_update[self._fe_gen] = \
                 self._pre_update.get(self._fe_gen, 0) + 1
-            self._fetch_out.append((fe_c + delay, dyn))
-            self.stats.fetched += 1
+            dyn.lat_ready = fe_c + delay
+            fetch_out.append(dyn)
+            stats.fetched += 1
             self._fe_trace_count += 1
             if dyn.is_branch:
-                self.stats.branches += 1
-                self.stats.count("bpred_lookup")
+                stats.branches += 1
+                events["bpred_lookup"] += 1
                 if not self.bpred.predict(dyn):
-                    self.stats.mispredicts += 1
+                    stats.mispredicts += 1
                     self._begin_boundary(_Boundary.MISPREDICT, dyn)
                     return
                 if self._check_natural_end(dyn):
@@ -403,17 +480,23 @@ class FlywheelCore:
 
     # ------------------------------------------------------------ BE domain
 
+    def _set_mode(self, mode: Mode) -> None:
+        """Switch operating mode and the mode-derived DRAM scale."""
+        self.mode = mode
+        self._be_scale = (self._scale_execute if mode is Mode.EXECUTE
+                          else self._scale_create)
+
     def _be_tick(self, now_ps: int) -> None:
         c = self.be_dom.cycles
-        if self.mode is Mode.CREATE:
-            self.stats.be_cycles_create += 1
+        create = self.mode is Mode.CREATE
+        stats = self.stats
+        if create:
+            stats.be_cycles_create += 1
         else:
-            self.stats.be_cycles_execute += 1
-        self.fu.begin_cycle(c)
-        self._be_writeback(c)
-        self._be_retire(c)
+            stats.be_cycles_execute += 1
+        self.be.tick(c, self._be_scale)
         if c < self._be_stall_until:
-            self.stats.checkpoint_stall_cycles += 1
+            stats.checkpoint_stall_cycles += 1
             return
         if self._applying_redist:
             # Let in-flight work drain (new renames are held in the FE),
@@ -423,78 +506,52 @@ class FlywheelCore:
                     and self._deferred_boundary is None):
                 self._apply_redistribution(c, now_ps)
                 return
-        if self.mode is Mode.CREATE:
+        if create:
             self._be_create(c, now_ps)
         else:
             self._be_execute(c, now_ps)
 
-    def _be_writeback(self, c: int) -> None:
-        wakes = self._wake_events.pop(c, None)
-        if wakes:
-            for tag in wakes:
-                self._ready[tag] = 1
-                self.iw.broadcast(tag, c)
-            self.stats.count("iw_broadcast", len(wakes))
-            self.stats.count("rf_write", len(wakes))
-        dones = self._done_events.pop(c, None)
-        if dones:
-            for entry in dones:
-                entry.done = True
-                if entry.mispredicted:
-                    self._on_branch_resolved(entry)
-
-    def _on_branch_resolved(self, entry: RobEntry) -> None:
+    # Writeback hook: a completed entry flagged mispredicted resolves the
+    # boundary branch (CREATE) or the replay's diverging branch (EXECUTE).
+    def _on_branch_resolved(self, entry: RobEntry, _c: int) -> None:
         if self.mode is Mode.CREATE:
             if entry.dyn.seq == self._boundary_branch_seq:
                 self._boundary_resolved = True
         elif self._replay is not None:
             self._replay.branch_resolved = True
 
-    def _be_retire(self, c: int) -> None:
-        retired = self.rob.retire_ready(self.config.commit_width)
-        if not retired:
-            return
-        be_scale = self._be_mem_scale()
-        for entry in retired:
-            dyn = entry.dyn
-            if dyn.op is OpClass.STORE and dyn.mem_addr is not None:
-                self.hierarchy.store(dyn.mem_addr, be_scale)
-                self.stats.count("dcache_access")
-            if entry.is_mem:
-                self.lsq.release()
-            self.renamer.retire(dyn)
-            self.stats.committed += 1
-            if entry.from_ec:
-                self.stats.instrs_from_ec += 1
-        self.stats.count("rob_read", len(retired))
-
-    def _be_mem_scale(self) -> float:
-        if self.mode is Mode.EXECUTE:
-            return self.clock.mem_scale(self.clock.be_fast_mhz) * self.mem_scale
-        return self.clock.mem_scale(self.clock.be_mhz) * self.mem_scale
+    # Retire hook: two-phase retirement plus EC residency accounting.
+    def _commit_entry(self, entry: RobEntry) -> None:
+        self.renamer.retire(entry.dyn)
+        if entry.from_ec:
+            self.stats.instrs_from_ec += 1
 
     # ----------------------------------------------------- CREATE mode (BE)
 
     def _be_create(self, c: int, now_ps: int) -> None:
-        self._create_issue(c)
-        self._create_accept(c, now_ps)
+        if self.iw._count:
+            self._create_issue(c)
+        if self._dispatch_q:
+            self._create_accept(c, now_ps)
         if self._boundary is not _Boundary.NONE:
             self._try_finish_boundary(c, now_ps)
 
     def _create_issue(self, c: int) -> None:
-        selected = self.iw.select(c, self.fu)
+        selected = self.iw.select(c, self.be.fu)
         if not selected:
             return
+        be = self.be
+        rf_reads = be.schedule_group(selected, c, self._be_scale)
         group = []
         sealing_group = []
         sealing_gen = self._sealing[2] if self._sealing else -1
+        outstanding = self._outstanding
         for dyn in selected:
-            self._start_execution(dyn, c)
-            left = self._outstanding.get(dyn.trace_gen, 1) - 1
+            left = outstanding.get(dyn.trace_gen, 1) - 1
             if left:
-                self._outstanding[dyn.trace_gen] = left
+                outstanding[dyn.trace_gen] = left
             else:
-                self._outstanding.pop(dyn.trace_gen, None)
+                outstanding.pop(dyn.trace_gen, None)
             if dyn.trace_gen == sealing_gen:
                 sealing_group.append((dyn.trace_pos, dyn))
             else:
@@ -504,60 +561,52 @@ class FlywheelCore:
         if self._builder_open and group:
             self.builder.record_unit(group)
         self._finish_sealing()
-        self.stats.issued += len(selected)
-        self.stats.count("iw_select", len(selected))
-        self.stats.count("rf_read", sum(len(d.src_tags) for d in selected))
-        self.stats.count("fu_op", len(selected))
-
-    def _start_execution(self, dyn: DynInstr, c: int) -> None:
-        lat = EXEC_LATENCY[dyn.op]
-        if dyn.op is OpClass.LOAD:
-            lat += self.hierarchy.load(dyn.mem_addr, self._be_mem_scale())
-            self.stats.count("dcache_access")
-        wake = c + lat
-        done = wake + self.config.regread_stages
-        if dyn.dest_tag >= 0:
-            self._wake_events.setdefault(wake, []).append(dyn.dest_tag)
-        entry = self._unissued.pop(dyn.seq)
-        self._done_events.setdefault(done, []).append(entry)
+        n = len(selected)
+        self.stats.issued += n
+        events = self._events
+        events["iw_select"] += n
+        events["rf_read"] += rf_reads
+        events["fu_op"] += n
 
     def _create_accept(self, c: int, now_ps: int) -> None:
         """Register Update stage: pull matured dispatches into the window."""
+        fifo = self._dispatch_fifo
+        be = self.be
+        iw = self.iw
+        ready = be.ready
+        ready_getter = be.ready_getter
+        events = self._events
         n = 0
         while n < self.config.dispatch_width:
-            dyn = self._dispatch_fifo.peek_ready(now_ps)
+            dyn = fifo.peek_ready(now_ps)
             if dyn is None:
                 break
-            if self.rob.full or self.iw.free_slots == 0:
+            if be.rob.full or iw.free_slots == 0:
                 break
-            if dyn.mem_addr is not None and self.lsq.full:
+            if dyn.mem_addr is not None and be.lsq.full:
                 break
             if dyn.trace_start and not self._begin_trace_at_update(dyn, c):
                 self.stats.checkpoint_stall_cycles += 1
                 break
-            self._dispatch_fifo.pop_ready(now_ps, limit=1)
-            self.stats.count("sync_fifo_pop")
+            # Inline single-entry pop: the head was just peeked mature.
+            self._dispatch_q.popleft()
+            fifo.pops += 1
+            events["sync_fifo_pop"] += 1
             remaining = self._pre_update.get(dyn.trace_gen, 0) - 1
             if remaining > 0:
                 self._pre_update[dyn.trace_gen] = remaining
             else:
                 self._pre_update.pop(dyn.trace_gen, None)
             self.renamer.update(dyn, self._trace_run)
-            self.stats.count("update_op")
+            events["update_op"] += 1
             if dyn.dest_tag >= 0:
-                self._ready[dyn.dest_tag] = 0
+                ready[dyn.dest_tag] = 0
             mispredicted = dyn.seq == self._boundary_branch_seq
-            entry = RobEntry(dyn, mispredicted=mispredicted)
-            self.rob.insert(entry)
-            self._unissued[dyn.seq] = entry
-            if dyn.mem_addr is not None:
-                self.lsq.insert()
-                self.stats.count("lsq_write")
-            self.iw.insert_synced(dyn, self._is_ready, earliest=c + 1)
+            be.admit(dyn, RobEntry(dyn, mispredicted=mispredicted))
+            iw.insert_synced(dyn, ready_getter, earliest=c + 1)
             self._outstanding[dyn.trace_gen] = \
                 self._outstanding.get(dyn.trace_gen, 0) + 1
-            self.stats.count("iw_write")
-            self.stats.count("rob_write")
+            events["iw_write"] += 1
             n += 1
 
     def _begin_trace_at_update(self, dyn: DynInstr, c: int) -> bool:
@@ -610,9 +659,6 @@ class FlywheelCore:
             self.ec.insert(trace)
             self.stats.count("ec_block_write",
                              trace.blocks(self.fly.ec_block_slots))
-
-    def _is_ready(self, tag: int) -> bool:
-        return bool(self._ready[tag])
 
     def _update_drained(self) -> bool:
         """All instructions of the sealing trace have passed Update.
@@ -753,7 +799,7 @@ class FlywheelCore:
         self._fetch_blocked = True    # until the redirect matures in FE
         self._block_epoch += 1
         self._redirect_fifo.push(self._block_epoch, now_ps, latency_ps)
-        self.stats.count("sync_fifo_push")
+        self._events["sync_fifo_push"] += 1
         self._fe_gated = False
 
     def _poll_redistribution(self, c: int) -> bool:
@@ -781,7 +827,7 @@ class FlywheelCore:
         self._sealing = None   # likewise stale
         self.pools.apply_sizes(self._pending_redist)
         self.renamer.reset_after_redistribution()
-        self._ready = bytearray([1] * self.fly.pool_regs)
+        self.be.reset_scoreboard()
         self.ec.invalidate_all()
         self._be_stall_until = max(self._be_stall_until,
                                    c + 1 + self.redist.penalty)
@@ -806,7 +852,7 @@ class FlywheelCore:
             return
         self.stats.trace_hits += 1
         self._replay = replay
-        self.mode = Mode.EXECUTE
+        self._set_mode(Mode.EXECUTE)
         self._fe_gated = True
         self.be_dom.set_frequency(self.clock.be_fast_mhz, now_ps)
         self.fill.start(c + 1, trace.slots)
@@ -822,7 +868,7 @@ class FlywheelCore:
             # Fetch restarts through the redirect FIFO; the applying flag
             # holds it until the new geometry is installed.
             self._applying_redist = True
-            self.mode = Mode.CREATE
+            self._set_mode(Mode.CREATE)
             self.be_dom.set_frequency(self.clock.be_mhz, now_ps)
             self.stats.count("mode_switch")
             self._resume_frontend(now_ps)
@@ -838,7 +884,7 @@ class FlywheelCore:
                 self.fill.start(c + 1, hit.slots)
                 return
         self.stats.trace_misses += 1
-        self.mode = Mode.CREATE
+        self._set_mode(Mode.CREATE)
         self._fe_gated = False
         self.be_dom.set_frequency(self.clock.be_mhz, now_ps)
         self._resume_frontend(now_ps)
@@ -881,24 +927,93 @@ class FlywheelCore:
                     break
         return _Replay(trace, records, paired, div_pos)
 
+    def _replay_idle_until(self, replay: _Replay, c: int):
+        """Earliest future BE cycle the replay can make progress, or None
+        if the next tick may act (issue, allocate, retire, count a stall,
+        or distinguish an FU-reservation conflict — all vetoes).
+
+        Mirrors the stage gates of :meth:`_be_execute`: allocation blocked
+        on ROB/LSQ space unblocks at retirement (a scheduled done event);
+        a pool-capacity block is NOT skippable because it increments the
+        stall counters every cycle; issue blocked on operand readiness
+        unblocks at a wake event; issue blocked on fill-buffer arrivals
+        has a computable ready cycle. Skipped cycles touch no state.
+        """
+        be = self.be
+        rob_q = be._rob_q
+        if rob_q and rob_q[0].done:
+            return None                      # retirement this tick
+        fill_bound = None
+        ap = replay.alloc_ptr
+        if ap < replay.valid_count:
+            dyn = replay.paired[ap]
+            if len(rob_q) >= be.rob.capacity:
+                pass                         # unblocks at retire
+            elif dyn.mem_addr is not None and be.lsq.full:
+                pass                         # unblocks at retire
+            else:
+                # Able to allocate — or blocked on pool capacity, which
+                # must keep counting rename_pool_stalls every cycle.
+                return None
+        if replay.unit_idx < replay.n_units and not (
+                replay.div_pos >= 0 and replay.branch_resolved
+                and replay.valid_issued >= replay.valid_count):
+            recs = replay.trace.units[replay.unit_idx].instrs
+            if not self.fill.can_consume(len(recs)):
+                fill_bound = self.fill.cycle_ready_for(len(recs))
+                if fill_bound is None:
+                    return None
+            else:
+                ready = be.ready
+                entries = replay.entries
+                blocked = False
+                for rec in recs:
+                    if rec.pos >= replay.valid_count:
+                        continue
+                    if rec.pos >= ap:
+                        blocked = True       # waits on allocation
+                        break
+                    if rec.op is OpClass.STORE:
+                        continue
+                    for tag in entries[rec.pos].dyn.src_tags:
+                        if tag >= 0 and not ready[tag]:
+                            blocked = True   # waits on a wake event
+                            break
+                    if blocked:
+                        break
+                if not blocked:
+                    # Fully ready: either it issues next tick or an FU
+                    # reservation is in the way — don't try to model that.
+                    return None
+        bound = be.next_event_cycle()
+        if fill_bound is not None and (bound is None or fill_bound < bound):
+            bound = fill_bound
+        if bound is not None and bound > c + 1:
+            return bound
+        return None
+
     def _be_execute(self, c: int, now_ps: int) -> None:
         replay = self._replay
         if replay is None:
             raise SimulationError("EXECUTE mode without a replay")
         self.fill.tick(c)
-        self._replay_alloc(replay, c)
-        self._replay_issue(replay, c)
+        if replay.alloc_ptr < replay.valid_count:
+            self._replay_alloc(replay, c)
+        if replay.unit_idx < replay.n_units:
+            self._replay_issue(replay, c)
         self._replay_check_end(replay, c, now_ps)
 
     def _replay_alloc(self, replay: _Replay, c: int) -> None:
         """Program-order Register Update + ROB/LSQ/pool allocation."""
+        be = self.be
+        events = self._events
         n = 0
         while (replay.alloc_ptr < replay.valid_count
                and n < self.config.issue_width):
             dyn = replay.paired[replay.alloc_ptr]
-            if self.rob.full:
+            if be.rob.full:
                 break
-            if dyn.mem_addr is not None and self.lsq.full:
+            if dyn.mem_addr is not None and be.lsq.full:
                 break
             if dyn.dest is not None and dyn.dest != 0 \
                     and not self.pools.can_allocate(dyn.dest):
@@ -906,7 +1021,7 @@ class FlywheelCore:
                 self.stats.rename_pool_stalls += 1
                 break
             self.renamer.update(dyn, self._trace_run)
-            self.stats.count("update_op")
+            events["update_op"] += 1
             if dyn.dest_lid >= 0:
                 self.pools.allocate(dyn.dest)
                 # NOTE: the ready bit is cleared at *issue* (not here).
@@ -918,69 +1033,79 @@ class FlywheelCore:
             mispredicted = replay.alloc_ptr == replay.div_pos
             entry = RobEntry(dyn, mispredicted=mispredicted, from_ec=True,
                              trace_id=replay.trace.tid)
-            self.rob.insert(entry)
+            be.rob.insert(entry)
             replay.entries[dyn.trace_pos] = entry
             if dyn.mem_addr is not None:
-                self.lsq.insert()
-                self.stats.count("lsq_write")
-            self.stats.count("rob_write")
+                be.lsq.insert()
+                events["lsq_write"] += 1
+            events["rob_write"] += 1
             replay.alloc_ptr += 1
             n += 1
 
     def _replay_issue(self, replay: _Replay, c: int) -> None:
-        """Issue at most one recorded Issue Unit per fast cycle."""
-        if replay.all_units_issued:
-            return
-        if (replay.diverged and replay.branch_resolved
-                and replay.all_valid_issued):
+        """Issue at most one recorded Issue Unit per fast cycle.
+
+        The caller has checked ``unit_idx < n_units``.
+        """
+        if (replay.div_pos >= 0 and replay.branch_resolved
+                and replay.valid_issued >= replay.valid_count):
             return  # redirect has happened; wrong path stops here
         unit = replay.trace.units[replay.unit_idx]
-        if not self.fill.can_consume(len(unit)):
+        recs = unit.instrs
+        if not self.fill.can_consume(len(recs)):
             return
-        valid: List[TraceInstr] = []
-        for rec in unit:
-            if rec.pos < replay.valid_count:
-                valid.append(rec)
+        be = self.be
+        ready = be.ready
+        entries = replay.entries
+        alloc_ptr = replay.alloc_ptr
+        if replay.div_pos < 0:
+            valid = recs        # no divergence: every record is valid
+        else:
+            vc = replay.valid_count
+            valid = [rec for rec in recs if rec.pos < vc]
         for rec in valid:
-            if rec.pos >= replay.alloc_ptr:
+            if rec.pos >= alloc_ptr:
                 return  # allocation (program order) hasn't caught up
             if rec.op is OpClass.STORE:
                 continue  # store data drains from the store queue at commit
-            dyn = replay.entries[rec.pos].dyn
+            dyn = entries[rec.pos].dyn
             for tag in dyn.src_tags:
-                if tag >= 0 and not self._ready[tag]:
+                if tag >= 0 and not ready[tag]:
                     return
-        demands = [(FU_KIND[rec.op], c, EXEC_LATENCY[rec.op],
-                    rec.op in UNPIPELINED) for rec in unit]
-        if not self.fu.try_issue_group(demands):
+        if not be.fu.try_issue_group(unit.demands, c):
             return
-        self.fill.consume(len(unit))
-        be_scale = self._be_mem_scale()
+        self.fill.consume(len(recs))
+        be_scale = self._be_scale
+        events = self._events
+        wake_events = be.wake_events
+        done_events = be.done_events
+        regread = self.config.regread_stages
         for rec in valid:
-            entry = replay.entries[rec.pos]
+            entry = entries[rec.pos]
             dyn = entry.dyn
-            lat = EXEC_LATENCY[dyn.op]
+            lat = EXEC_LATENCY_TAB[dyn.op]
             if dyn.op is OpClass.LOAD:
                 lat += self.hierarchy.load(dyn.mem_addr, be_scale)
-                self.stats.count("dcache_access")
+                events["dcache_access"] += 1
             wake = c + lat
-            done = wake + self.config.regread_stages
+            done = wake + regread
             if dyn.dest_tag >= 0:
-                self._ready[dyn.dest_tag] = 0
-                self._wake_events.setdefault(wake, []).append(dyn.dest_tag)
-            self._done_events.setdefault(done, []).append(entry)
+                ready[dyn.dest_tag] = 0
+                wake_events.setdefault(wake, []).append(dyn.dest_tag)
+            done_events.setdefault(done, []).append(entry)
         replay.unit_idx += 1
         replay.valid_issued += len(valid)
         self.stats.issued += len(valid)
-        self.stats.count("fu_op", len(unit))
-        self.stats.count("rf_read", sum(len(r.srcs) for r in valid))
+        events["fu_op"] += len(recs)
+        events["rf_read"] += sum(len(r.srcs) for r in valid)
 
     def _replay_check_end(self, replay: _Replay, c: int,
                           now_ps: int) -> None:
-        if replay.diverged:
+        if replay.div_pos >= 0:
             self._replay_abort_step(replay, c, now_ps)
             return
-        if replay.all_units_issued and replay.alloc_ptr >= replay.valid_count:
+        if (replay.unit_idx >= replay.n_units
+                and replay.alloc_ptr >= replay.valid_count):
             # Natural end: SRT swap gives a one-cycle switch penalty.
             if self.fly.use_srt:
                 self._checkpoint_srt_now(c)
@@ -1053,7 +1178,7 @@ class FlywheelCore:
 
     def _to_create_mode(self, now_ps: int) -> None:
         """Return to trace-creation mode at the slow back-end clock."""
-        self.mode = Mode.CREATE
+        self._set_mode(Mode.CREATE)
         self._fe_gated = False
         self.be_dom.set_frequency(self.clock.be_mhz, now_ps)
         self.stats.count("mode_switch")

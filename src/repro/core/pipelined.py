@@ -1,0 +1,35 @@
+"""Pipelined Wake-Up/Select machine (the paper's Fig. 2 variant).
+
+The paper motivates the Flywheel by showing that the obvious way to reach
+a faster clock — pipelining the issue window's Wake-Up/Select loop — costs
+far more IPC than pipelining the front-end, because it destroys
+back-to-back scheduling of dependent instructions.
+
+Structurally this machine *is* the synchronous baseline with
+``wakeup_extra_delay >= 1``: a producer's tag broadcast reaches dependents
+one cycle late, and a selection round completes only every other cycle.
+The engine refactor makes it a first-class core kind (one class, no
+duplicated back-end) so campaigns and experiments can sweep it like any
+other machine instead of threading config overrides through every layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.baseline import BaselineCore
+from repro.core.config import CoreConfig
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.workloads.stream import InstructionStream
+
+
+class PipelinedWakeupCore(BaselineCore):
+    """Baseline composition with the Wake-Up/Select loop pipelined."""
+
+    def __init__(self, config: CoreConfig, stream: InstructionStream,
+                 mem_scale: float = 1.0,
+                 hierarchy: Optional[MemoryHierarchy] = None):
+        if config.wakeup_extra_delay < 1:
+            config = config.with_variant(wakeup_extra_delay=1)
+        super().__init__(config, stream, mem_scale=mem_scale,
+                         hierarchy=hierarchy)

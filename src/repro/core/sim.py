@@ -19,6 +19,7 @@ from typing import Dict, Optional, Union
 
 from repro.core.baseline import BaselineCore
 from repro.core.config import ClockPlan, CoreConfig, FlywheelConfig
+from repro.core.pipelined import PipelinedWakeupCore
 from repro.core.stats import SimStats
 from repro.workloads import (
     InstructionStream,
@@ -36,6 +37,14 @@ DEFAULT_INSTRUCTIONS = 60_000
 #: Kind tags stamped on results (and used by campaign run specs).
 KIND_BASELINE = "baseline"
 KIND_FLYWHEEL = "flywheel"
+KIND_PIPELINED_WAKEUP = "pipelined_wakeup"
+
+#: Synchronous (single-clock) core classes by kind; the Flywheel is the
+#: only dual-clock machine and keeps its own runner.
+_SYNC_CORES = {
+    KIND_BASELINE: BaselineCore,
+    KIND_PIPELINED_WAKEUP: PipelinedWakeupCore,
+}
 
 
 @dataclass
@@ -96,6 +105,26 @@ def _resolve_workload(workload: Union[str, WorkloadProfile, Program],
     return generate_program(workload, seed=seed)
 
 
+def _run_sync(kind: str,
+              workload: Union[str, WorkloadProfile, Program],
+              config: Optional[CoreConfig],
+              clock: Optional[ClockPlan],
+              max_instructions: int, warmup: int,
+              seed: Optional[int], mem_scale: float) -> SimResult:
+    """Shared runner for the single-clock core kinds."""
+    config = config or default_config(kind)
+    clock = clock or ClockPlan()
+    program = _resolve_workload(workload, seed)
+    stream = InstructionStream(program)
+    core = _SYNC_CORES[kind](config, stream, mem_scale=mem_scale)
+    stats = core.run(max_instructions, warmup=warmup)
+    period_ps = round(1e6 / clock.base_mhz)
+    stats.sim_time_ps = stats.total_be_cycles * period_ps
+    return SimResult(name=program.name, stats=stats, core=core, clock=clock,
+                     kind=kind,
+                     l2_accesses=core.hierarchy.l2.stats.accesses)
+
+
 def run_baseline(workload: Union[str, WorkloadProfile, Program],
                  config: Optional[CoreConfig] = None,
                  clock: Optional[ClockPlan] = None,
@@ -108,17 +137,25 @@ def run_baseline(workload: Union[str, WorkloadProfile, Program],
     ``workload`` may be a benchmark name (``"gcc"``), a profile, or a
     pre-built program. The single clock is ``clock.base_mhz``.
     """
-    config = config or default_config(KIND_BASELINE)
-    clock = clock or ClockPlan()
-    program = _resolve_workload(workload, seed)
-    stream = InstructionStream(program)
-    core = BaselineCore(config, stream, mem_scale=mem_scale)
-    stats = core.run(max_instructions, warmup=warmup)
-    period_ps = round(1e6 / clock.base_mhz)
-    stats.sim_time_ps = stats.total_be_cycles * period_ps
-    return SimResult(name=program.name, stats=stats, core=core, clock=clock,
-                     kind=KIND_BASELINE,
-                     l2_accesses=core.hierarchy.l2.stats.accesses)
+    return _run_sync(KIND_BASELINE, workload, config, clock,
+                     max_instructions, warmup, seed, mem_scale)
+
+
+def run_pipelined_wakeup(workload: Union[str, WorkloadProfile, Program],
+                         config: Optional[CoreConfig] = None,
+                         clock: Optional[ClockPlan] = None,
+                         max_instructions: int = DEFAULT_INSTRUCTIONS,
+                         warmup: int = DEFAULT_WARMUP,
+                         seed: Optional[int] = None,
+                         mem_scale: float = 1.0) -> SimResult:
+    """Run the pipelined Wake-Up/Select variant (paper Fig. 2).
+
+    Identical to :func:`run_baseline` except the issue window's
+    Wake-Up/Select loop is pipelined (``wakeup_extra_delay >= 1``),
+    sacrificing back-to-back scheduling of dependent instructions.
+    """
+    return _run_sync(KIND_PIPELINED_WAKEUP, workload, config, clock,
+                     max_instructions, warmup, seed, mem_scale)
 
 
 def run_flywheel(workload: Union[str, WorkloadProfile, Program],
@@ -159,4 +196,6 @@ def default_config(kind: str) -> CoreConfig:
     """
     if kind == KIND_FLYWHEEL:
         return CoreConfig(phys_regs=512, regread_stages=2)
+    if kind == KIND_PIPELINED_WAKEUP:
+        return CoreConfig(wakeup_extra_delay=1)
     return CoreConfig()

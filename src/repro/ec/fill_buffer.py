@@ -46,7 +46,7 @@ class FillBuffer:
 
     def tick(self, cycle: int) -> None:
         """Advance arrivals for this cycle."""
-        if not self._active:
+        if not self._active or self._arrived >= self._total_slots:
             return
         elapsed = cycle - self._start_cycle - self.latency
         if elapsed < 0:
@@ -64,6 +64,18 @@ class FillBuffer:
 
     def can_consume(self, n_slots: int) -> bool:
         return self._arrived - self._consumed >= n_slots
+
+    def cycle_ready_for(self, n_slots: int):
+        """Cycle by which ``n_slots`` past current consumption will have
+        arrived, assuming no further consumption — the replay skip-ahead
+        bound. None if the request can never be satisfied as-is.
+        """
+        target = self._consumed + n_slots
+        if (not self._active or target > self._total_slots
+                or n_slots > self.depth_slots):
+            return None
+        blocks = -(-target // self.block_slots)
+        return self._start_cycle + self.latency + blocks - 1
 
     def consume(self, n_slots: int) -> None:
         if not self.can_consume(n_slots):

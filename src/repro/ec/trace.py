@@ -38,16 +38,33 @@ class TraceInstr:
 class IssueUnit:
     """Independent instructions recorded as one parallel issue group."""
 
-    __slots__ = ("instrs",)
+    __slots__ = ("instrs", "_demands")
 
     def __init__(self, instrs: Optional[List[TraceInstr]] = None):
         self.instrs: List[TraceInstr] = instrs or []
+        self._demands = None
 
     def __len__(self) -> int:
         return len(self.instrs)
 
     def __iter__(self):
         return iter(self.instrs)
+
+    @property
+    def demands(self) -> tuple:
+        """FU demands as ``(kind, cycle, latency, unpipelined)`` tuples.
+
+        The cycle field is 0 — only meaningful for unpipelined ops, whose
+        reservation the replay engine re-stamps; cached because a hot
+        trace replays the same units thousands of times.
+        """
+        if self._demands is None:
+            from repro.isa.opclasses import (EXEC_LATENCY_TAB, FU_KIND_TAB,
+                                             UNPIPELINED_TAB)
+            self._demands = tuple(
+                (FU_KIND_TAB[ti.op], 0, EXEC_LATENCY_TAB[ti.op],
+                 UNPIPELINED_TAB[ti.op]) for ti in self.instrs)
+        return self._demands
 
 
 class Trace:

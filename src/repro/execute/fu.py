@@ -3,78 +3,106 @@ ports, 2 FP adders, 1 FP mul/div).
 
 Pipelined units accept one operation per cycle; unpipelined units (the
 dividers) are reserved for their whole latency.
+
+Availability is tracked in flat arrays indexed by ``int(FuKind)`` — this
+runs once per issue candidate per cycle, so the dict-of-enums bookkeeping
+it replaced was measurable in whole-campaign profiles.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
-from repro.isa.opclasses import FuKind
+from repro.isa.opclasses import FuKind, N_FU_KINDS
 
 
 class FuPool:
     """Per-kind availability tracking for one clock domain."""
 
+    __slots__ = ("_counts", "_used", "_reserved", "_n_reserved", "_cycle",
+                 "ops", "_zeros", "_dirty")
+
     def __init__(self, int_alus: int, int_muldivs: int, mem_ports: int,
                  fp_adders: int, fp_muldivs: int):
-        self._counts: Dict[FuKind, int] = {
-            FuKind.INT_ALU: int_alus,
-            FuKind.INT_MULDIV: int_muldivs,
-            FuKind.MEM_PORT: mem_ports,
-            FuKind.FP_ADD: fp_adders,
-            FuKind.FP_MULDIV: fp_muldivs,
-        }
-        self._used: Dict[FuKind, int] = {k: 0 for k in self._counts}
-        self._reserved: Dict[FuKind, List[int]] = {k: [] for k in self._counts}
+        counts = [0] * N_FU_KINDS
+        counts[FuKind.INT_ALU] = int_alus
+        counts[FuKind.INT_MULDIV] = int_muldivs
+        counts[FuKind.MEM_PORT] = mem_ports
+        counts[FuKind.FP_ADD] = fp_adders
+        counts[FuKind.FP_MULDIV] = fp_muldivs
+        self._counts: List[int] = counts
+        self._used: List[int] = [0] * N_FU_KINDS
+        #: per-kind lists of cycle numbers until which a unit stays busy
+        self._reserved: List[List[int]] = [[] for _ in range(N_FU_KINDS)]
+        self._n_reserved = 0
         self._cycle = -1
         self.ops = 0  # total operations started (power events)
+        self._zeros = (0,) * N_FU_KINDS
+        self._dirty = False
 
     def begin_cycle(self, cycle: int) -> None:
         """Reset per-cycle issue slots and expire long reservations."""
         self._cycle = cycle
-        for kind in self._used:
-            self._used[kind] = 0
-            res = self._reserved[kind]
-            if res:
-                self._reserved[kind] = [t for t in res if t > cycle]
+        if self._dirty:
+            self._used[:] = self._zeros
+            self._dirty = False
+        if self._n_reserved:
+            remaining = 0
+            for res in self._reserved:
+                if res:
+                    res[:] = [t for t in res if t > cycle]
+                    remaining += len(res)
+            self._n_reserved = remaining
 
-    def available(self, kind: FuKind) -> int:
+    def available(self, kind: int) -> int:
         return (self._counts[kind] - self._used[kind]
                 - len(self._reserved[kind]))
 
-    def try_issue(self, kind: FuKind, cycle: int, latency: int,
+    def try_issue(self, kind: int, cycle: int, latency: int,
                   unpipelined: bool = False) -> bool:
         """Claim an issue slot on a unit of ``kind``; False if none free."""
-        if self.available(kind) <= 0:
+        if (self._counts[kind] - self._used[kind]
+                - len(self._reserved[kind])) <= 0:
             return False
         self._used[kind] += 1
+        self._dirty = True
         if unpipelined:
             self._reserved[kind].append(cycle + latency)
+            self._n_reserved += 1
         self.ops += 1
         return True
 
-    def try_issue_group(self, demands) -> bool:
+    def try_issue_group(self, demands, cycle: int = None) -> bool:
         """Atomically claim units for a whole issue group (VLIW replay).
 
         ``demands`` is an iterable of (kind, cycle, latency, unpipelined)
         tuples; either every member gets a unit or nothing is claimed.
+        ``cycle`` overrides the per-demand cycle stamp — callers reusing a
+        cached demand tuple across cycles pass the live cycle here.
         """
-        demands = list(demands)
-        need: Dict[FuKind, int] = {}
+        if not isinstance(demands, (list, tuple)):
+            demands = list(demands)
+        need = [0] * N_FU_KINDS
         for kind, _cycle, _lat, _unp in demands:
-            need[kind] = need.get(kind, 0) + 1
-        for kind, count in need.items():
-            if self.available(kind) < count:
+            need[kind] += 1
+        for kind in range(N_FU_KINDS):
+            if need[kind] and self.available(kind) < need[kind]:
                 return False
-        for kind, cycle, latency, unpipelined in demands:
-            self._used[kind] += 1
+        used = self._used
+        for kind, stamp, latency, unpipelined in demands:
+            used[kind] += 1
             if unpipelined:
-                self._reserved[kind].append(cycle + latency)
-            self.ops += 1
+                start = stamp if cycle is None else cycle
+                self._reserved[kind].append(start + latency)
+                self._n_reserved += 1
+        self._dirty = True
+        self.ops += len(demands)
         return True
 
     def flush(self) -> None:
         """Release all reservations (pipeline squash)."""
-        for kind in self._reserved:
+        for kind in range(N_FU_KINDS):
             self._reserved[kind].clear()
             self._used[kind] = 0
+        self._n_reserved = 0
+        self._dirty = False

@@ -25,7 +25,12 @@ from repro.campaign.executor import CampaignReport, ProgressFn, run_campaign
 from repro.campaign.spec import RunSpec
 from repro.campaign.store import ResultStore
 from repro.core.config import ClockPlan, CoreConfig, FlywheelConfig
-from repro.core.sim import KIND_BASELINE, KIND_FLYWHEEL, SimResult
+from repro.core.sim import (
+    KIND_BASELINE,
+    KIND_FLYWHEEL,
+    KIND_PIPELINED_WAKEUP,
+    SimResult,
+)
 from repro.workloads.profiles import SPEC_NAMES
 
 #: Default measurement budgets. The paper fast-forwards 500M instructions
@@ -94,6 +99,15 @@ class ExperimentContext:
                  mem_scale: float = 1.0) -> SimResult:
         return self.run_spec(self._spec(KIND_FLYWHEEL, bench, clock=clock,
                                         fly=fly, mem_scale=mem_scale))
+
+    def pipelined_wakeup(self, bench: str,
+                         clock: Optional[ClockPlan] = None,
+                         config: Optional[CoreConfig] = None,
+                         mem_scale: float = 1.0) -> SimResult:
+        """The Fig. 2 pipelined Wake-Up/Select machine (its own kind)."""
+        return self.run_spec(self._spec(KIND_PIPELINED_WAKEUP, bench,
+                                        clock=clock, config=config,
+                                        mem_scale=mem_scale))
 
     def speedup(self, bench: str, clock: ClockPlan,
                 fly: Optional[FlywheelConfig] = None) -> float:

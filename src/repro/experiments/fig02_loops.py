@@ -21,8 +21,7 @@ def run(ctx: ExperimentContext) -> List[dict]:
         base = ctx.baseline(bench)
         fe = ctx.baseline(
             bench, config=CoreConfig(extra_frontend_stages=1))
-        ws = ctx.baseline(
-            bench, config=CoreConfig(wakeup_extra_delay=1))
+        ws = ctx.pipelined_wakeup(bench)
         base_ipc = base.stats.ipc
         rows.append({
             "benchmark": bench,

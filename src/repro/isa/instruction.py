@@ -85,7 +85,7 @@ class StaticInstr:
             raise ValueError(f"branch instruction {self.sid} lacks a branch kind")
 
 
-@dataclass
+@dataclass(slots=True)
 class DynInstr:
     """One dynamic instance of a static instruction.
 
@@ -93,6 +93,9 @@ class DynInstr:
     pipeline fills in during simulation (rename tags, timestamps) live in
     the pipeline's own bookkeeping, not here, so a DynInstr can be shared
     between the oracle stream and the core without aliasing bugs.
+
+    Slotted: millions of these are created per campaign, and the cores
+    touch their fields in every pipeline stage.
     """
 
     seq: int                               # program-order sequence number
@@ -117,6 +120,11 @@ class DynInstr:
     trace_start: bool = False              # first instruction of a trace
     trace_pos: int = -1                    # program-order position in trace
     trace_gen: int = 0                     # trace generation (drain tracking)
+    #: Cycle at which this instruction leaves its current pipeline latch.
+    #: Owned by whichever latch currently holds the instruction (an
+    #: instruction sits in exactly one latch at a time), replacing
+    #: per-stage (cycle, dyn) tuples on the hot path.
+    lat_ready: int = 0
 
     @property
     def is_branch(self) -> bool:

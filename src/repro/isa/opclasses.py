@@ -75,6 +75,26 @@ FU_KIND: dict[OpClass, FuKind] = {
 #: start on the same unit until the previous one finishes).
 UNPIPELINED: frozenset = frozenset({OpClass.INT_DIV, OpClass.FP_DIV})
 
+# ------------------------------------------------------------------ tables
+# Op-indexed lookup tables for the per-cycle hot loops. ``OpClass`` is an
+# IntEnum, so ``TAB[op]`` is a plain sequence index — no enum hashing per
+# instruction per cycle. The dicts above remain the single editable source;
+# these are derived views (rebuild order matters if you add an op class).
+
+N_OPS = len(OpClass)
+
+#: EXEC_LATENCY as a tuple indexed by ``int(OpClass)``.
+EXEC_LATENCY_TAB: tuple = tuple(EXEC_LATENCY[OpClass(i)] for i in range(N_OPS))
+
+#: FU_KIND as a tuple of plain ints indexed by ``int(OpClass)``.
+FU_KIND_TAB: tuple = tuple(int(FU_KIND[OpClass(i)]) for i in range(N_OPS))
+
+#: Membership of UNPIPELINED as a tuple of bools indexed by ``int(OpClass)``.
+UNPIPELINED_TAB: tuple = tuple(OpClass(i) in UNPIPELINED for i in range(N_OPS))
+
+#: Number of functional-unit pool kinds (sizes the FuPool's flat arrays).
+N_FU_KINDS = len(FuKind)
+
 
 def is_memory(op: OpClass) -> bool:
     """Return True for loads and stores."""

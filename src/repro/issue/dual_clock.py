@@ -49,6 +49,15 @@ class DualClockIssueWindow(IssueWindow):
         while self._recent and self._recent[0][0] < horizon:
             self._recent.popleft()
 
+    def broadcast_many(self, tags, cycle: int) -> None:
+        super().broadcast_many(tags, cycle)
+        recent = self._recent
+        for tag in tags:
+            recent.append((cycle, tag))
+        horizon = cycle - self.tag_window
+        while recent and recent[0][0] < horizon:
+            recent.popleft()
+
     def insert_synced(self, dyn: DynInstr, ready: Callable[[int], bool],
                       earliest: int, raced_tags: int = 0) -> IWEntry:
         """Insert an instruction arriving through the sync FIFO.

@@ -60,6 +60,7 @@ class Cache:
             raise ConfigError(f"{self.name}: set count must be a power of two")
         self._set_mask = self.num_sets - 1
         self._line_shift = self.line_bytes.bit_length() - 1
+        self._tag_shift = self.num_sets.bit_length() - 1
         # Per-set map tag -> LRU stamp; eviction scans for the min stamp
         # (associativity is small, so the scan beats an ordered structure).
         self._sets: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
@@ -73,7 +74,7 @@ class Cache:
             self.stats.writes += 1
         line = addr >> self._line_shift
         set_idx = line & self._set_mask
-        tag = line >> self.num_sets.bit_length() - 1
+        tag = line >> self._tag_shift
         cset = self._sets[set_idx]
         if tag in cset:
             cset[tag] = self._clock
@@ -91,7 +92,7 @@ class Cache:
         """Check residency without updating LRU state or counters."""
         line = addr >> self._line_shift
         set_idx = line & self._set_mask
-        tag = line >> self.num_sets.bit_length() - 1
+        tag = line >> self._tag_shift
         return tag in self._sets[set_idx]
 
     def flush(self) -> None:

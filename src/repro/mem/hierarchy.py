@@ -40,36 +40,37 @@ class MemoryHierarchy:
         self.l1i = Cache("l1i", cfg.l1i_kb * 1024, cfg.l1i_ways, cfg.line_bytes)
         self.l1d = Cache("l1d", cfg.l1d_kb * 1024, cfg.l1d_ways, cfg.line_bytes)
         self.l2 = Cache("l2", cfg.l2_kb * 1024, cfg.l2_ways, cfg.line_bytes)
+        # Flat latency attrs: ifetch/load run per fetch group / per load.
+        self._l1_lat = cfg.l1_latency
+        self._l12_lat = cfg.l1_latency + cfg.l2_latency
+        self._dram_lat = cfg.dram_latency
 
     def ifetch(self, pc: int, mem_scale: float = 1.0) -> int:
         """Instruction fetch; returns total latency in requester cycles."""
         if self.l1i.access(pc):
-            return self.config.l1_latency
+            return self._l1_lat
         if self.l2.access(pc):
-            return self.config.l1_latency + self.config.l2_latency
-        return (self.config.l1_latency + self.config.l2_latency
-                + self._dram(mem_scale))
+            return self._l12_lat
+        return self._l12_lat + self._dram(mem_scale)
 
     def load(self, addr: int, mem_scale: float = 1.0) -> int:
         """Data load; returns total latency in requester cycles."""
         if self.l1d.access(addr):
-            return self.config.l1_latency
+            return self._l1_lat
         if self.l2.access(addr):
-            return self.config.l1_latency + self.config.l2_latency
-        return (self.config.l1_latency + self.config.l2_latency
-                + self._dram(mem_scale))
+            return self._l12_lat
+        return self._l12_lat + self._dram(mem_scale)
 
     def store(self, addr: int, mem_scale: float = 1.0) -> int:
         """Data store (write-allocate); latency matters only for LSQ drain."""
         if self.l1d.access(addr, write=True):
-            return self.config.l1_latency
+            return self._l1_lat
         if self.l2.access(addr, write=True):
-            return self.config.l1_latency + self.config.l2_latency
-        return (self.config.l1_latency + self.config.l2_latency
-                + self._dram(mem_scale))
+            return self._l12_lat
+        return self._l12_lat + self._dram(mem_scale)
 
     def _dram(self, mem_scale: float) -> int:
-        return max(1, round(self.config.dram_latency * mem_scale))
+        return max(1, round(self._dram_lat * mem_scale))
 
     def flush(self) -> None:
         for cache in (self.l1i, self.l1d, self.l2):

@@ -42,7 +42,8 @@ class R10KRenamer:
 
     def rename(self, dyn: DynInstr) -> None:
         """Assign source tags and allocate a destination tag in place."""
-        dyn.src_tags = tuple(self._map[s] for s in dyn.srcs)
+        m = self._map
+        dyn.src_tags = tuple([m[s] for s in dyn.srcs])
         if dyn.dest is None or dyn.dest == ZERO_REG:
             dyn.dest_tag = -1
             dyn.old_dest_tag = -1
@@ -60,3 +61,11 @@ class R10KRenamer:
             # The zero register's identity tag is never recycled.
             if dyn.old_dest_tag != ZERO_TAG:
                 self._free.append(dyn.old_dest_tag)
+
+    def commit_entry(self, entry) -> None:
+        """Retire hook for the engine (`entry` is a RobEntry): same as
+        :meth:`commit`, called directly to keep the per-instruction
+        retire path one call deep."""
+        dyn = entry.dyn
+        if dyn.dest_tag >= 0 and dyn.old_dest_tag > 0:
+            self._free.append(dyn.old_dest_tag)

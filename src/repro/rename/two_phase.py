@@ -58,7 +58,8 @@ class TwoPhaseRenamer:
     def rename(self, dyn: DynInstr) -> None:
         """Assign LIDs in place (trace-creation front-end path)."""
         self.renames += 1
-        dyn.src_lids = tuple(self._lid[s] for s in dyn.srcs)
+        lid = self._lid
+        dyn.src_lids = tuple([lid[s] for s in dyn.srcs])
         if dyn.dest is None or dyn.dest == ZERO_REG:
             dyn.dest_lid = -1
             return
@@ -82,14 +83,17 @@ class TwoPhaseRenamer:
         """
         self.updates += 1
         pools = self.pools
+        bases = pools.bases
+        sizes = pools.sizes
+        rt = self._rt
+        # Inlined pools.phys(): this runs per source per instruction.
         dyn.src_tags = tuple(
-            pools.phys(arch, self._rt[arch] + lid)
-            for arch, lid in zip(dyn.srcs, dyn.src_lids)
-        )
+            [bases[arch] + (rt[arch] + lid) % sizes[arch]
+             for arch, lid in zip(dyn.srcs, dyn.src_lids)])
         if dyn.dest_lid >= 0:
             arch = dyn.dest
-            slot = (self._rt[arch] + dyn.dest_lid) % pools.sizes[arch]
-            dyn.dest_tag = pools.bases[arch] + slot
+            slot = (rt[arch] + dyn.dest_lid) % sizes[arch]
+            dyn.dest_tag = bases[arch] + slot
             if trace_id >= self._srt_trace[arch]:
                 self._srt[arch] = slot
                 self._srt_trace[arch] = trace_id

@@ -73,6 +73,82 @@ def test_scheduler_tick_ratio(fa, fb):
     assert b.cycles == pytest.approx(expect_b, rel=0.02)
 
 
+class TestDrainUntil:
+    """Skip-ahead over provably idle ticks (the gated-FE fast path)."""
+
+    def test_consumes_ticks_strictly_before_horizon(self):
+        fast = ClockDomain("fast", 2000.0)   # 500 ps period
+        n = TickScheduler([fast]).drain_until(fast, 2000)
+        # Ticks at 0, 500, 1000, 1500 are before 2000; the tick AT the
+        # horizon is excluded (ties belong to the other domain's handler).
+        assert n == 4
+        assert fast.cycles == 4
+        assert fast.next_tick_ps == 2000
+
+    def test_noop_at_or_past_horizon(self):
+        dom = ClockDomain("d", 1000.0)
+        sched = TickScheduler([dom])
+        assert sched.drain_until(dom, 0) == 0
+        dom.advance()
+        assert sched.drain_until(dom, dom.next_tick_ps) == 0
+        assert dom.cycles == 1
+
+    def test_equivalent_to_stepping(self):
+        """Draining must advance exactly like popping each tick."""
+        a = ClockDomain("a", 1300.0)
+        b = ClockDomain("b", 1300.0)
+        horizon = 987_654
+        stepped = 0
+        while a.next_tick_ps < horizon:
+            a.advance()
+            stepped += 1
+        drained = TickScheduler([b]).drain_until(b, horizon)
+        assert drained == stepped
+        assert b.cycles == a.cycles
+        assert b.next_tick_ps == a.next_tick_ps
+
+    def test_interleaving_preserved_after_drain(self):
+        """After a bulk skip, the scheduler keeps global time order."""
+        be = ClockDomain("be", 950.0)
+        fe = ClockDomain("fe", 1900.0)
+        sched = TickScheduler([be, fe])
+        sched.next_event()                      # be tick at t=0
+        sched.drain_until(fe, be.next_tick_ps)  # consume gated fe ticks
+        last = -1
+        for _ in range(50):
+            t, _dom = sched.next_event()
+            assert t >= last
+            last = t
+
+
+@settings(max_examples=40, deadline=None)
+@given(f_fast=st.floats(min_value=100, max_value=5000),
+       f_slow=st.floats(min_value=100, max_value=5000))
+def test_drain_until_matches_stepped_counts(f_fast, f_slow):
+    """For any frequency ratio (including awkward, non-integer ones),
+    bulk-draining one domain up to the other's next tick consumes exactly
+    the ticks a stepped scheduler would hand to it first."""
+    a1 = ClockDomain("a", f_fast)
+    b1 = ClockDomain("b", f_slow)
+    stepped = TickScheduler([b1, a1])
+    _t, dom = stepped.next_event()
+    assert dom is b1                 # t=0 tie goes to the first-registered
+    popped_a = 0
+    while True:
+        _t, dom = stepped.next_event()
+        if dom is b1:
+            break
+        popped_a += 1
+    a2 = ClockDomain("a", f_fast)
+    b2 = ClockDomain("b", f_slow)
+    sched2 = TickScheduler([b2, a2])
+    b2.advance()                     # mirror b's first tick
+    drained = sched2.drain_until(a2, b2.next_tick_ps)
+    assert drained == popped_a
+    assert a2.cycles == a1.cycles
+    assert a2.next_tick_ps == a1.next_tick_ps
+
+
 class TestSyncFifo:
     def test_latency_gates_visibility(self):
         fifo = SyncFifo("f")
@@ -106,6 +182,49 @@ class TestSyncFifo:
         fifo.push(1, 0, 0)
         fifo.clear()
         assert fifo.pop_ready(10) == []
+
+    def test_exact_boundary_is_mature(self):
+        """An entry matures at exactly push_time + latency, not after."""
+        fifo = SyncFifo("f")
+        fifo.push("x", now_ps=1000, latency_ps=500)
+        assert fifo.peek_ready(1499) is None
+        assert fifo.peek_ready(1500) == "x"
+
+    def test_cross_domain_latency_at_unequal_ratio(self):
+        """Entries pushed on fast-domain ticks become visible to the slow
+        domain only after the synchronization latency, whatever the
+        (non-integer) frequency ratio."""
+        fe = ClockDomain("fe", 1300.0)
+        be = ClockDomain("be", 950.0)
+        sched = TickScheduler([be, fe])
+        fifo = SyncFifo("dispatch")
+        latency = be.period_ps          # one consumer cycle
+        crossings = []
+        for _ in range(200):
+            t, dom = sched.next_event()
+            if dom is fe:
+                fifo.push(t, t, latency)
+            else:
+                for pushed_t in fifo.pop_ready(t):
+                    crossings.append((pushed_t, t))
+        assert crossings
+        for pushed_t, popped_t in crossings:
+            assert popped_t - pushed_t >= latency
+        # FIFO order survives the clock crossing.
+        assert [p for p, _ in crossings] == sorted(p for p, _ in crossings)
+
+    def test_entry_waits_for_next_consumer_tick(self):
+        """A push landing between consumer ticks is seen at the first
+        consumer tick past its maturity (ratio-boundary case)."""
+        be = ClockDomain("be", 1000.0)       # ticks at 0, 1000, 2000...
+        fifo = SyncFifo("f")
+        fifo.push("x", now_ps=1100, latency_ps=500)   # mature at 1600
+        be.advance()                          # t=0
+        be.advance()                          # t=1000: not mature yet
+        assert fifo.peek_ready(1000) is None
+        t = be.advance()                      # t=2000: first tick >= 1600
+        assert t == 2000
+        assert fifo.pop_ready(t) == ["x"]
 
 
 @settings(max_examples=30, deadline=None)

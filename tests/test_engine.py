@@ -1,0 +1,146 @@
+"""Tests for the shared pipeline engine and the pipelined-wakeup kind."""
+
+import pytest
+
+from repro.core.config import CoreConfig
+from repro.core.engine import DeadlockWatchdog
+from repro.core.pipelined import PipelinedWakeupCore
+from repro.core.sim import (
+    KIND_PIPELINED_WAKEUP,
+    run_baseline,
+    run_pipelined_wakeup,
+)
+from repro.errors import CampaignError, ConfigError, SimulationError
+from repro.workloads import InstructionStream, generate_program, get_profile
+
+
+class TestDeadlockWatchdog:
+    def test_progress_resets_window(self):
+        wd = DeadlockWatchdog(100)
+        for cycle in range(0, 1000, 50):
+            wd.poll(cycle, committed=cycle)   # always making progress
+
+    def test_trips_after_window(self):
+        wd = DeadlockWatchdog(100)
+        wd.poll(0, committed=5)
+        wd.poll(100, committed=5)
+        with pytest.raises(SimulationError, match="no commit for 100"):
+            wd.poll(101, committed=5)
+
+    def test_describe_suffix(self):
+        wd = DeadlockWatchdog(10)
+        wd.poll(0, committed=0)
+        with pytest.raises(SimulationError, match="custom-detail"):
+            wd.poll(11, committed=0, describe=lambda: " custom-detail")
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(SimulationError):
+            DeadlockWatchdog(0)
+
+
+class TestDeadlockWindowConfig:
+    def test_default_is_kind_specific(self):
+        from repro.core.baseline import BaselineCore
+        from repro.core.flywheel import FlywheelCore
+        from repro.core.config import ClockPlan, FlywheelConfig
+
+        prog = generate_program(get_profile("smoke"))
+        base = BaselineCore(CoreConfig(), InstructionStream(prog))
+        assert base.watchdog.window == 20_000
+        fly = FlywheelCore(CoreConfig(phys_regs=512, regread_stages=2),
+                           FlywheelConfig(), ClockPlan(),
+                           InstructionStream(prog))
+        assert fly.watchdog.window == 40_000
+
+    def test_override_applies(self):
+        from repro.core.baseline import BaselineCore
+
+        prog = generate_program(get_profile("smoke"))
+        core = BaselineCore(CoreConfig(deadlock_window=123),
+                            InstructionStream(prog))
+        assert core.watchdog.window == 123
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(deadlock_window=-1)
+
+
+class TestPipelinedWakeupKind:
+    def test_runs_and_commits(self):
+        res = run_pipelined_wakeup("smoke", max_instructions=3000,
+                                   warmup=500)
+        assert res.kind == KIND_PIPELINED_WAKEUP
+        assert res.stats.committed >= 3000
+
+    def test_forces_pipelined_wakeup(self):
+        prog = generate_program(get_profile("smoke"))
+        core = PipelinedWakeupCore(CoreConfig(), InstructionStream(prog))
+        assert core.config.wakeup_extra_delay == 1
+
+    def test_matches_baseline_with_override(self):
+        """The kind is exactly the baseline with the loop pipelined."""
+        via_kind = run_pipelined_wakeup("gcc", max_instructions=4000,
+                                        warmup=1000)
+        via_config = run_baseline(
+            "gcc", config=CoreConfig(wakeup_extra_delay=1),
+            max_instructions=4000, warmup=1000)
+        assert (via_kind.stats.total_be_cycles
+                == via_config.stats.total_be_cycles)
+        assert via_kind.stats.issued == via_config.stats.issued
+
+    def test_slower_than_baseline(self):
+        base = run_baseline("gcc", max_instructions=6000, warmup=2000)
+        ws = run_pipelined_wakeup("gcc", max_instructions=6000, warmup=2000)
+        assert ws.stats.ipc < base.stats.ipc
+
+    def test_campaign_spec_round_trip(self):
+        from repro.campaign.spec import RunSpec
+
+        spec = RunSpec(kind=KIND_PIPELINED_WAKEUP, bench="gcc",
+                       instructions=2000, warmup=100)
+        assert spec.config.wakeup_extra_delay == 1
+        assert spec.variant() == {}          # the kind default, not a diff
+        rebuilt = RunSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.cache_key() == spec.cache_key()
+
+    def test_spec_rejects_fly_config(self):
+        from repro.campaign.spec import RunSpec
+        from repro.core.config import FlywheelConfig
+
+        with pytest.raises(CampaignError):
+            RunSpec(kind=KIND_PIPELINED_WAKEUP, bench="gcc",
+                    fly=FlywheelConfig())
+
+    def test_spec_executes(self):
+        from repro.campaign.spec import RunSpec
+
+        spec = RunSpec(kind=KIND_PIPELINED_WAKEUP, bench="smoke",
+                       instructions=1500, warmup=200)
+        result = spec.execute()
+        assert result.kind == KIND_PIPELINED_WAKEUP
+        assert result.stats.committed >= 1500
+
+
+class TestEngineComposition:
+    def test_cores_share_engine_structures(self):
+        """The re-exposed rob/lsq/fu aliases are the engine's objects."""
+        from repro.core.baseline import BaselineCore
+
+        prog = generate_program(get_profile("smoke"))
+        core = BaselineCore(CoreConfig(), InstructionStream(prog))
+        assert core.rob is core.be.rob
+        assert core.lsq is core.be.lsq
+        assert core.fu is core.be.fu
+
+    def test_backend_events_drain(self):
+        """After a run stops, no wake/done event is stranded in the past."""
+        from repro.core.baseline import BaselineCore
+
+        prog = generate_program(get_profile("smoke"))
+        core = BaselineCore(CoreConfig(), InstructionStream(prog))
+        core.run(2000, warmup=500)
+        for cyc in core.be.wake_events:
+            assert cyc >= core.cycle
+        for cyc in core.be.done_events:
+            assert cyc >= core.cycle

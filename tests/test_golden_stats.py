@@ -1,0 +1,79 @@
+"""Golden-stats regression pins for the core refactor.
+
+The numbers below were captured from the pre-engine cores (PR 1 tree) on
+the seed benchmarks. The pipeline-engine refactor is required to be
+*timing-transparent*: both cores, rebuilt as compositions over
+``repro.core.engine``, must reproduce these counters exactly. Any change
+here is a modelling change, not a refactor, and must be justified.
+
+Budgets are small (8k measured / 3k warmup) so the whole module stays
+cheap, but large enough that the Flywheel passes through every mode
+transition (create, replay, divergence, SRT swaps).
+"""
+
+import pytest
+
+from repro.core.sim import run_baseline, run_flywheel
+
+#: kind/bench -> pinned counters (captured before the engine refactor).
+GOLDEN = {
+    "baseline/smoke": {
+        "committed": 8003, "fetched": 8129, "issued": 8101,
+        "be_cycles_create": 8409, "be_cycles_execute": 0,
+        "fe_cycles_active": 8409, "fe_cycles_gated": 0,
+        "branches": 1202, "mispredicts": 68,
+        "traces_built": 0, "trace_hits": 0, "trace_misses": 0,
+        "instrs_from_ec": 0, "sim_time_ps": 8854677,
+        "iw_write": 8113, "iw_select": 8101, "rob_write": 8113,
+        "fu_op": 8101, "dcache_access": 3555,
+    },
+    "flywheel/smoke": {
+        "committed": 8001, "fetched": 2532, "issued": 8092,
+        "be_cycles_create": 6103, "be_cycles_execute": 14707,
+        "fe_cycles_active": 6364, "fe_cycles_gated": 14445,
+        "branches": 1197, "mispredicts": 87,
+        "traces_built": 33, "trace_hits": 92, "trace_misses": 32,
+        "instrs_from_ec": 5572, "sim_time_ps": 21911877,
+        "iw_write": 2532, "iw_select": 2520, "rob_write": 8104,
+        "fu_op": 8505, "dcache_access": 3552,
+    },
+    "baseline/gcc": {
+        "committed": 8000, "fetched": 8057, "issued": 8047,
+        "be_cycles_create": 11351, "be_cycles_execute": 0,
+        "fe_cycles_active": 11351, "fe_cycles_gated": 0,
+        "branches": 253, "mispredicts": 67,
+        "traces_built": 0, "trace_hits": 0, "trace_misses": 0,
+        "instrs_from_ec": 0, "sim_time_ps": 11952603,
+        "iw_write": 8057, "iw_select": 8047, "rob_write": 8057,
+        "fu_op": 8047, "dcache_access": 3191,
+    },
+    "flywheel/gcc": {
+        "committed": 8001, "fetched": 4012, "issued": 8032,
+        "be_cycles_create": 9041, "be_cycles_execute": 12228,
+        "fe_cycles_active": 9385, "fe_cycles_gated": 11883,
+        "branches": 253, "mispredicts": 74,
+        "traces_built": 36, "trace_hits": 88, "trace_misses": 34,
+        "instrs_from_ec": 3989, "sim_time_ps": 22395204,
+        "iw_write": 4012, "iw_select": 4012, "rob_write": 8057,
+        "fu_op": 8640, "dcache_access": 3188,
+    },
+}
+
+_EVENT_KEYS = ("iw_write", "iw_select", "rob_write", "fu_op",
+               "dcache_access")
+
+_RUNNERS = {"baseline": run_baseline, "flywheel": run_flywheel}
+
+
+def _observed(kind: str, bench: str) -> dict:
+    stats = _RUNNERS[kind](bench, max_instructions=8000, warmup=3000).stats
+    out = {k: getattr(stats, k) for k in GOLDEN[f"{kind}/{bench}"]
+           if k not in _EVENT_KEYS}
+    out.update({k: stats.events[k] for k in _EVENT_KEYS})
+    return out
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_golden_counters(key):
+    kind, bench = key.split("/")
+    assert _observed(kind, bench) == GOLDEN[key]
