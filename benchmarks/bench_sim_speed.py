@@ -11,6 +11,12 @@ simulator's own performance are caught. Two entry points:
   comparable cycles/sec trajectory. Program generation is excluded from
   the timed region (it is identical across kinds and code versions).
 
+The CLI also tracks regressions perun-style: ``--against PATH`` compares
+the fresh measurement to a committed report and prints a per-kind
+delta table; ``--fail-on-regression PCT`` turns any slowdown beyond PCT
+percent into a non-zero exit for CI (omit it for report-only mode —
+cross-machine comparisons are informative, not gating).
+
 Reference points measured on the PR-1 tree (same protocol, same
 container class) before the engine refactor:
 ``baseline/gcc ~64k cycles/s, flywheel/gcc ~69k cycles/s``.
@@ -95,6 +101,36 @@ def measure(benchmarks=BENCH_BENCHMARKS,
     }
 
 
+def compare(fresh: dict, committed: dict) -> list:
+    """Per-series delta rows between a fresh and a committed report.
+
+    Positive ``delta_pct`` is an improvement (more cycles/sec); series
+    present on only one side are listed with a None delta rather than
+    dropped, so a renamed kind cannot silently leave perf tracking.
+    """
+    fresh_series = fresh.get("series", {})
+    committed_series = committed.get("series", {})
+    rows = []
+    for name in sorted(set(fresh_series) | set(committed_series)):
+        new = fresh_series.get(name, {}).get("cycles_per_sec")
+        old = committed_series.get(name, {}).get("cycles_per_sec")
+        delta = ((new - old) / old * 100.0) if new and old else None
+        rows.append({"series": name, "old": old, "new": new,
+                     "delta_pct": delta})
+    return rows
+
+
+def print_comparison(rows: list) -> None:
+    print(f"\n{'series':28s} {'committed':>12s} {'fresh':>12s} "
+          f"{'delta':>8s}")
+    for row in rows:
+        old = f"{row['old']:,}" if row["old"] else "-"
+        new = f"{row['new']:,}" if row["new"] else "-"
+        delta = (f"{row['delta_pct']:+7.1f}%" if row["delta_pct"] is not None
+                 else "      -")
+        print(f"{row['series']:28s} {old:>12s} {new:>12s} {delta:>8s}")
+
+
 def main(argv=None) -> int:
     import argparse
 
@@ -104,7 +140,29 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default="BENCH_core.json",
                         help="output path (default: ./BENCH_core.json)")
     parser.add_argument("--repeats", type=int, default=BENCH_REPEATS)
+    parser.add_argument("--against", default=None, metavar="PATH",
+                        help="committed report to diff the fresh "
+                             "measurement against (e.g. BENCH_core.json)")
+    parser.add_argument("--fail-on-regression", type=float, default=None,
+                        metavar="PCT",
+                        help="exit non-zero if any series is more than "
+                             "PCT percent slower than --against "
+                             "(default: report-only)")
     args = parser.parse_args(argv)
+    if args.fail_on_regression is not None and not args.against:
+        parser.error("--fail-on-regression requires --against")
+
+    # Read the committed report BEFORE measuring: --out and --against may
+    # name the same file (refresh-and-diff in one invocation).
+    committed = None
+    if args.against:
+        try:
+            with open(args.against, encoding="utf-8") as fh:
+                committed = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.against}: {exc}", file=sys.stderr)
+            if args.fail_on_regression is not None:
+                return 1
 
     report = measure(repeats=args.repeats)
     with open(args.out, "w", encoding="utf-8") as fh:
@@ -114,6 +172,30 @@ def main(argv=None) -> int:
         print(f"{name:28s} {row['cycles_per_sec']:>9,} cycles/s "
               f"{row['instrs_per_sec']:>9,} instrs/s")
     print(f"wrote {args.out}")
+
+    if committed is not None:
+        rows = compare(report, committed)
+        print_comparison(rows)
+        if args.fail_on_regression is not None:
+            bad = [r for r in rows if r["delta_pct"] is not None
+                   and r["delta_pct"] < -args.fail_on_regression]
+            # A committed series with no fresh measurement is lost perf
+            # tracking (renamed/dropped kind), not a pass.
+            lost = [r for r in rows if r["old"] and not r["new"]]
+            if bad or lost:
+                if bad:
+                    print(f"FAIL: regression beyond "
+                          f"{args.fail_on_regression:g}% in: "
+                          + ", ".join(r["series"] for r in bad),
+                          file=sys.stderr)
+                if lost:
+                    print("FAIL: committed series missing from the "
+                          "fresh report: "
+                          + ", ".join(r["series"] for r in lost),
+                          file=sys.stderr)
+                return 1
+            print(f"ok: no series regressed beyond "
+                  f"{args.fail_on_regression:g}%")
     return 0
 
 

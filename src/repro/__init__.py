@@ -49,6 +49,7 @@ from repro.core import (
     run_flywheel,
     run_pipelined_wakeup,
 )
+from repro.dvfs import GovernorConfig
 from repro.errors import (
     CampaignError,
     ConfigError,
@@ -74,6 +75,7 @@ __all__ = [
     "ClockPlan",
     "CoreConfig",
     "FlywheelConfig",
+    "GovernorConfig",
     "SimResult",
     "SimStats",
     "run_baseline",

@@ -1,4 +1,5 @@
-"""Markdown rendering of experiment rows (used to build EXPERIMENTS.md)."""
+"""Markdown rendering of experiment rows (used to build EXPERIMENTS.md),
+plus per-interval frequency-trace rendering for governed (DVFS) runs."""
 
 from __future__ import annotations
 
@@ -16,3 +17,53 @@ def markdown_table(rows: Sequence[Mapping], columns: List[str]) -> str:
             cells.append(f"{v:.3f}" if isinstance(v, float) else str(v))
         out.append("| " + " | ".join(cells) + " |")
     return "\n".join(out)
+
+
+def freq_trace_rows(stats, limit: int = 0) -> List[dict]:
+    """``SimStats.freq_trace`` as table rows (cycle, MHz, dwell cycles).
+
+    ``dwell`` is the number of back-end cycles spent at each frequency
+    (the last segment's dwell extends to the end of the run and is
+    reported as the remaining cycles). ``limit`` truncates to the first N
+    transitions (0 = all) — traces grow with one entry per retune, not
+    per interval, but a long adaptive run can still have hundreds.
+    """
+    trace = stats.freq_trace
+    rows: List[dict] = []
+    total = stats.total_be_cycles
+    for i, (cycle, mhz) in enumerate(trace):
+        nxt = trace[i + 1][0] if i + 1 < len(trace) else total
+        rows.append({"cycle": int(cycle), "mhz": float(mhz),
+                     "dwell": int(max(0, nxt - cycle))})
+        if limit and len(rows) >= limit:
+            break
+    return rows
+
+
+#: Eight-level bar glyphs for the sparkline rendering.
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def format_freq_trace(stats, max_entries: int = 8) -> str:
+    """One-line summary of a governed run's frequency trajectory.
+
+    Shows up to ``max_entries`` ``cycle:MHz`` transition points, a
+    sparkline of the dwell-time-ordered frequency levels, and the retune
+    count — compact enough for experiment footers and CLI output.
+    """
+    trace = stats.freq_trace
+    if not trace:
+        return "no governor (fixed clock)"
+    shown = trace[:max_entries]
+    bits = [f"{int(c)}:{mhz:.0f}" for c, mhz in shown]
+    if len(trace) > len(shown):
+        bits.append(f"... +{len(trace) - len(shown)} more")
+    lo = min(m for _c, m in trace)
+    hi = max(m for _c, m in trace)
+    span = (hi - lo) or 1.0
+    spark = "".join(
+        _SPARK[min(len(_SPARK) - 1,
+                   int((m - lo) / span * (len(_SPARK) - 1)))]
+        for _c, m in trace[:60])
+    return (f"{' '.join(bits)}  [{spark}]  "
+            f"({stats.dvfs_retunes} retunes)")

@@ -4,8 +4,9 @@ Usage::
 
     python -m repro.campaign run --experiments all --jobs 4
     python -m repro.campaign run --experiments fig12,fig13 --seed 7
-    python -m repro.campaign ls [--limit 20]
+    python -m repro.campaign ls [--limit 20] [--json]
     python -m repro.campaign export --csv results.csv
+    python -m repro.campaign export --json results.json
     python -m repro.campaign clean [--stale]
 
 ``run`` expands the named experiments into a deduplicated job list,
@@ -96,26 +97,74 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _ls_summary(record) -> dict:
+    """Flat, JSON-safe summary of one store record (for ``ls --json``)."""
+    spec = record.get("spec", {})
+    stats = SimStats.from_dict(record["result"].get("stats", {}))
+    clock = spec.get("clock") or {}
+    governor = clock.get("governor") or {}
+    return {
+        "key": record.get("key", ""),
+        "created": record.get("created", 0),
+        "code": record.get("code", ""),
+        "kind": spec.get("kind", ""),
+        "bench": spec.get("bench", ""),
+        "seed": spec.get("seed"),
+        "instructions": spec.get("instructions"),
+        "warmup": spec.get("warmup"),
+        "mem_scale": spec.get("mem_scale"),
+        "base_mhz": clock.get("base_mhz"),
+        "fe_speedup": clock.get("fe_speedup"),
+        "be_speedup": clock.get("be_speedup"),
+        "governor": governor.get("name"),
+        "variant": _spec_variant(spec),
+        "committed": stats.committed,
+        "cycles": stats.total_be_cycles,
+        "ipc": stats.ipc,
+        "sim_time_ps": stats.sim_time_ps,
+        "dvfs_retunes": stats.dvfs_retunes,
+    }
+
+
+def _ls_line(summary: dict) -> str:
+    """Human-readable listing line, rendered from an ``_ls_summary``."""
+    if summary.get("damaged"):
+        return f"{summary['key'][:12]}  <damaged record>"
+    created = time.strftime("%Y-%m-%d %H:%M",
+                            time.localtime(summary["created"]))
+    gov = summary["governor"]
+    variant = summary["variant"]
+    return (f"{summary['key'][:12]}  {created}  "
+            f"code={summary['code']}  n={summary['instructions']}  "
+            f"ipc={summary['ipc']:5.2f}  "
+            f"{summary['kind']}/{summary['bench']}"
+            + (f"  gov={gov}" if gov else "")
+            + (f"  [{variant}]" if variant else ""))
+
+
 def _cmd_ls(args) -> int:
+    import json
+
     store = _store(args)
     shown = 0
+    summaries = []
+    # One parse path for both output modes: damaged records stay visible
+    # (and the counts honest) in JSON too.
     for record in store.records():
         try:
-            spec = record.get("spec", {})
-            stats = SimStats.from_dict(record["result"].get("stats", {}))
-            created = time.strftime("%Y-%m-%d %H:%M",
-                                    time.localtime(record.get("created", 0)))
-            variant = _spec_variant(spec)
-            print(f"{record.get('key', '?')[:12]}  {created}  "
-                  f"code={record.get('code', '?')}  "
-                  f"n={spec.get('instructions', '?')}  ipc={stats.ipc:5.2f}  "
-                  f"{spec.get('kind', '?')}/{spec.get('bench', '?')}"
-                  + (f"  [{variant}]" if variant else ""))
+            summary = _ls_summary(record)
         except (KeyError, TypeError, ValueError, AttributeError):
-            print(f"{record.get('key', '?')[:12]}  <damaged record>")
+            summary = {"key": record.get("key", ""), "damaged": True}
+        if args.json:
+            summaries.append(summary)
+        else:
+            print(_ls_line(summary))
         shown += 1
         if args.limit and shown >= args.limit:
             break
+    if args.json:
+        json.dump(summaries, sys.stdout, indent=2, sort_keys=True)
+        print()
     print(f"{shown} of {len(store)} record(s) in {store.root}",
           file=sys.stderr)
     return 0
@@ -141,6 +190,8 @@ _EXPORT_STATS = ("committed", "fetched", "issued", "be_cycles_create",
 
 def _cmd_export(args) -> int:
     store = _store(args)
+    if args.json is not None:
+        return _export_json(store, args.json)
     header = (["key", "created", "code"] + list(_EXPORT_SPEC)
               + ["variant"] + list(_EXPORT_CLOCK) + list(_EXPORT_STATS)
               + ["ipc", "l2_accesses"])
@@ -177,6 +228,34 @@ def _cmd_export(args) -> int:
     return 0
 
 
+def _export_json(store, path: str) -> int:
+    """Dump full store records (spec + result) as one JSON array.
+
+    Unlike the flattened CSV, this is lossless: each element is the
+    record as stored (key, code fingerprint, timestamps, complete spec
+    payload and serialized result including event counters and the DVFS
+    frequency trace), ready for pandas/jq pipelines.
+    """
+    import json
+
+    out = (open(path, "w", encoding="utf-8") if path != "-"
+           else sys.stdout)
+    rows = 0
+    try:
+        out.write("[")
+        for record in store.records():
+            out.write(",\n" if rows else "\n")
+            json.dump(record, out, sort_keys=True)
+            rows += 1
+        out.write("\n]\n" if rows else "]\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    print(f"exported {rows} record(s)"
+          + ("" if path == "-" else f" to {path}"), file=sys.stderr)
+    return 0
+
+
 def main(argv=None) -> int:
     from repro.experiments.__main__ import add_run_flags
 
@@ -202,16 +281,23 @@ def main(argv=None) -> int:
     _add_store_flag(p_ls)
     p_ls.add_argument("--limit", type=int, default=40,
                       help="max records to print (0 = all)")
+    p_ls.add_argument("--json", action="store_true",
+                      help="emit a JSON array of record summaries "
+                           "instead of the human-readable listing")
 
     p_clean = sub.add_parser("clean", help="delete stored results")
     _add_store_flag(p_clean)
     p_clean.add_argument("--stale", action="store_true",
                          help="only delete records from older code versions")
 
-    p_export = sub.add_parser("export", help="dump the store as CSV")
+    p_export = sub.add_parser("export", help="dump the store as CSV/JSON")
     _add_store_flag(p_export)
     p_export.add_argument("--csv", default="-", metavar="PATH",
-                          help="output file (default: stdout)")
+                          help="CSV output file (default: stdout)")
+    p_export.add_argument("--json", nargs="?", const="-", default=None,
+                          metavar="PATH",
+                          help="dump full records as a JSON array to PATH "
+                               "(or stdout) instead of flattened CSV")
 
     args = parser.parse_args(argv)
     handler = {"run": _cmd_run, "ls": _cmd_ls, "clean": _cmd_clean,

@@ -137,6 +137,13 @@ def _sensitivity(bench, n, w, seed):
             for entries, width in IW_POINTS]
 
 
+def _dvfs(bench, n, w, seed):
+    from repro.experiments.dvfs_sweep import sweep_points
+
+    return [_fly(bench, n, w, seed, clock=clock)
+            for _label, clock in sweep_points()]
+
+
 _ENUMERATORS = {
     "fig2": _fig2,
     "fig11": _fig11,
@@ -147,6 +154,7 @@ _ENUMERATORS = {
     "residency": _residency,
     "ablations": _ablations,
     "sensitivity": _sensitivity,
+    "dvfs": _dvfs,
 }
 
 #: Experiments that run simulations (the rest are analytical).

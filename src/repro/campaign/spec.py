@@ -64,8 +64,8 @@ _SYNC_RUNNERS = {
 #: power reports, the campaign machinery itself — are derived from the
 #: stored stats at read time, so editing them must NOT invalidate the
 #: store.
-SIM_PACKAGES = ("core", "clocks", "ec", "execute", "frontend", "isa",
-                "issue", "mem", "rename", "rob", "workloads")
+SIM_PACKAGES = ("core", "clocks", "dvfs", "ec", "execute", "frontend",
+                "isa", "issue", "mem", "rename", "rob", "workloads")
 
 
 @lru_cache(maxsize=1)
@@ -126,9 +126,11 @@ class RunSpec:
         # let equality / hashing / dedup see through the difference.
         clock = self.clock or ClockPlan()
         if self.kind != KIND_FLYWHEEL:
-            # The synchronous kinds only see base_mhz; dropping the
-            # speedup axes collapses their legs of clock sweeps.
-            clock = ClockPlan(base_mhz=clock.base_mhz)
+            # The synchronous kinds only see base_mhz (and the governor);
+            # dropping the speedup axes collapses their legs of clock
+            # sweeps.
+            clock = ClockPlan(base_mhz=clock.base_mhz,
+                              governor=clock.governor)
         object.__setattr__(self, "clock", clock)
         config = self.config or default_config(self.kind)
         if (self.kind == KIND_PIPELINED_WAKEUP
@@ -193,6 +195,9 @@ class RunSpec:
                         f",be+{self.clock.be_speedup:.0%}")
         if self.clock.base_mhz != ClockPlan().base_mhz:
             bits.append(f"{self.clock.base_mhz:.0f}MHz")
+        if self.clock.governor is not None:
+            gov = self.clock.governor
+            bits.append(f"gov={gov.name}@{gov.interval}")
         if self.seed is not None:
             bits.append(f"seed={self.seed}")
         if self.mem_scale != 1.0:

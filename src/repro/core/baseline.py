@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.config import CoreConfig
+from repro.core.config import ClockPlan, CoreConfig
 from repro.core.engine import DeadlockWatchdog, ExecBackend, FrontEndFeed
 from repro.core.stats import SimStats
 from repro.frontend.bpred import BranchPredictor
@@ -46,10 +46,12 @@ class BaselineCore:
 
     def __init__(self, config: CoreConfig, stream: InstructionStream,
                  mem_scale: float = 1.0,
-                 hierarchy: Optional[MemoryHierarchy] = None):
+                 hierarchy: Optional[MemoryHierarchy] = None,
+                 clock: Optional[ClockPlan] = None):
         self.config = config
         self.stream = stream
         self.mem_scale = mem_scale
+        self.clock = clock
         self.stats = SimStats()
         self._events = self.stats.events
 
@@ -92,6 +94,17 @@ class BaselineCore:
         self._mispredict_seq = -1      # seq of the blocking branch
         self._fetch_resume_cycle = 0
 
+        # Adaptive clocking: a governor in the plan attaches a controller
+        # that owns the piecewise time sum and retunes mem_scale. Deferred
+        # import — repro.dvfs.controller imports this package.
+        if clock is not None and clock.governor is not None:
+            from repro.dvfs.controller import SyncDvfsController
+
+            self.dvfs = SyncDvfsController(clock.governor, clock.base_mhz,
+                                           self)
+        else:
+            self.dvfs = None
+
     # --------------------------------------------------------------- run
 
     def run(self, max_instructions: int, warmup: int = 0) -> SimStats:
@@ -103,6 +116,8 @@ class BaselineCore:
         """
         if warmup:
             self._functional_warmup(warmup)
+            if self.dvfs is not None:
+                self.dvfs.reset_baseline(self)
         stats = self.stats
         watchdog = self.watchdog
         window = watchdog.window
@@ -110,6 +125,8 @@ class BaselineCore:
         last_count = -1
         iw = self.iw
         rob_q = self.be._rob_q
+        dvfs = self.dvfs
+        dvfs_next = dvfs.next_check if dvfs is not None else None
         while stats.committed < max_instructions:
             self.step()
             c = self.cycle
@@ -121,6 +138,11 @@ class BaselineCore:
                     break   # don't skip past the final commit's cycle
             elif c - last_cycle > window:
                 watchdog.trip(c, committed)
+            # Governor interval boundary. A skip-ahead below may jump past
+            # the boundary; the hook then fires here on the next simulated
+            # cycle with a correspondingly longer interval (DESIGN.md §4).
+            if dvfs_next is not None and c >= dvfs_next:
+                dvfs_next = dvfs.on_interval(self, c)
             # Skip ahead over provably idle cycles (mispredict stalls,
             # long-latency load shadows with the machine backed up). The
             # two cheap vetoes cover most busy cycles; the full stall

@@ -163,18 +163,26 @@ class FlywheelConfig(_CacheKeyMixin):
 
 @dataclass(frozen=True)
 class ClockPlan(_CacheKeyMixin):
-    """Frequencies (MHz) for a run.
+    """Frequencies (MHz) for a run, plus an optional adaptive governor.
 
     ``fe_mhz`` drives fetch/decode/rename/dispatch; ``be_mhz`` drives the
     issue window and execution core in trace-creation mode (and is the
     baseline's single clock); ``be_fast_mhz`` drives the execution core in
     trace-execution mode. The paper's sweep expresses these as percentage
     speedups over the baseline clock.
+
+    ``governor`` attaches a runtime DVFS policy
+    (:class:`repro.dvfs.GovernorConfig`) that retunes the back-end clock
+    at interval boundaries; ``None`` (the default) attaches no controller
+    and is the static machine the paper models. Because the governor
+    rides inside the plan, it participates in ``cache_key()`` and flows
+    through campaign specs and the result store unchanged.
     """
 
     base_mhz: float = 950.0          # Table 1, 0.18um issue window
     fe_speedup: float = 0.0          # 0.0 .. 1.0  (0% .. 100%)
     be_speedup: float = 0.0          # trace-execution core speedup (0.5 = 50%)
+    governor: "object" = None        # Optional[repro.dvfs.GovernorConfig]
 
     def __post_init__(self) -> None:
         # Coerce int-valued inputs (e.g. base_mhz=950) so equal plans
@@ -182,6 +190,14 @@ class ClockPlan(_CacheKeyMixin):
         # 950 and 950.0 render differently.
         for name in ("base_mhz", "fe_speedup", "be_speedup"):
             object.__setattr__(self, name, float(getattr(self, name)))
+        # Rebuild a governor handed over as a plain payload dict (store
+        # records, RunSpec.from_dict). Deferred import: repro.dvfs is a
+        # consumer of this module.
+        if isinstance(self.governor, dict):
+            from repro.dvfs.config import GovernorConfig
+
+            object.__setattr__(self, "governor",
+                               GovernorConfig(**self.governor))
 
     @property
     def fe_mhz(self) -> float:

@@ -175,6 +175,10 @@ class FlywheelCore:
                                * mem_scale)
         self._be_scale = self._scale_create
 
+        #: Governor multiplier on the trace-execution fast clock; 1.0
+        #: without a governor (``be_fast_mhz * 1.0`` below is exact).
+        self._dvfs_scale = 1.0
+
         # FE-side latches (stamped in FE cycles) and the dual-clock FIFOs.
         self.fe = FrontEndFeed(config.fetch_width, config.decode_width,
                                self.stats)
@@ -228,12 +232,24 @@ class FlywheelCore:
         self._deferred_boundary: Optional[Tuple[_Boundary, int, int, int]] = None
         self._pre_update: Dict[int, int] = {}   # gen -> not yet past Update
 
+        # Adaptive clocking (repro.dvfs): the controller scales the BE
+        # domain through _dvfs_rescale at interval boundaries. Deferred
+        # import — repro.dvfs.controller imports this package.
+        if clock.governor is not None:
+            from repro.dvfs.controller import FlywheelDvfsController
+
+            self.dvfs = FlywheelDvfsController(clock.governor, self)
+        else:
+            self.dvfs = None
+
     # ------------------------------------------------------------------ run
 
     def run(self, max_instructions: int, warmup: int = 0) -> SimStats:
         """Simulate until ``max_instructions`` commit after warmup."""
         if warmup:
             self._functional_warmup(warmup)
+            if self.dvfs is not None:
+                self.dvfs.reset_baseline(self)
         stats = self.stats
         watchdog = self.watchdog
         window = watchdog.window
@@ -244,6 +260,7 @@ class FlywheelCore:
         fe_dom = self.fe_dom
         be_tick = self._be_tick
         fe_tick = self._fe_tick
+        dvfs = self.dvfs
         now_ps = 0
         # The two-domain scheduler pop is inlined (ties go to the BE
         # domain, which is registered first — same as TickScheduler).
@@ -262,6 +279,12 @@ class FlywheelCore:
                 elif be_dom.cycles - last_cycle > window:
                     watchdog.trip(be_dom.cycles, committed,
                                   self._deadlock_detail)
+                # Governor interval boundary (BE cycles). The replay
+                # skip-ahead below may bulk-advance past a boundary; the
+                # hook then fires on the next popped BE tick with a
+                # correspondingly longer interval (DESIGN.md §4).
+                if dvfs is not None and be_dom.cycles >= dvfs.next_check:
+                    dvfs.on_interval(self, be_dom.cycles, now_ps)
                 # Replay-mode skip-ahead: with the FE clock-gated, a BE
                 # tick that can only wait for a scheduled wake/done event
                 # or a fill-buffer arrival is provably inert. Skipped
@@ -485,6 +508,29 @@ class FlywheelCore:
         self.mode = mode
         self._be_scale = (self._scale_execute if mode is Mode.EXECUTE
                           else self._scale_create)
+
+    def _dvfs_rescale(self, scale: float, now_ps: int) -> None:
+        """Apply a governor ladder move to the trace-execution clock.
+
+        The governor re-divides the fast master clock: only the
+        trace-execution (EC replay) frequency moves; the trace-creation
+        clock stays at the issue-window-limited ``be_mhz``, whose period
+        the window's single-cycle Wake-Up/Select loop dictates — there is
+        no slack to give back there, and throttling it lengthens every
+        serialization (drain, checkpoint, refill) on the critical path.
+        The EXECUTE-mode DRAM multiplier is rebuilt (DRAM time is fixed
+        in nanoseconds, so a rescaled clock sees proportionally rescaled
+        stall cycles); if currently replaying, ``be_dom`` retimes
+        immediately via ``ClockDomain.set_frequency``, otherwise the new
+        divisor takes effect at the next mode switch.
+        """
+        self._dvfs_scale = scale
+        clock = self.clock
+        self._scale_execute = (clock.mem_scale(clock.be_fast_mhz * scale)
+                               * self.mem_scale)
+        if self.mode is Mode.EXECUTE:
+            self._be_scale = self._scale_execute
+            self.be_dom.set_frequency(clock.be_fast_mhz * scale, now_ps)
 
     def _be_tick(self, now_ps: int) -> None:
         c = self.be_dom.cycles
@@ -854,7 +900,8 @@ class FlywheelCore:
         self._replay = replay
         self._set_mode(Mode.EXECUTE)
         self._fe_gated = True
-        self.be_dom.set_frequency(self.clock.be_fast_mhz, now_ps)
+        self.be_dom.set_frequency(self.clock.be_fast_mhz * self._dvfs_scale,
+                                  now_ps)
         self.fill.start(c + 1, trace.slots)
         self.stats.count("mode_switch")
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.baseline import BaselineCore
-from repro.core.config import CoreConfig
+from repro.core.config import ClockPlan, CoreConfig
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.workloads.stream import InstructionStream
 
@@ -28,8 +28,9 @@ class PipelinedWakeupCore(BaselineCore):
 
     def __init__(self, config: CoreConfig, stream: InstructionStream,
                  mem_scale: float = 1.0,
-                 hierarchy: Optional[MemoryHierarchy] = None):
+                 hierarchy: Optional[MemoryHierarchy] = None,
+                 clock: Optional[ClockPlan] = None):
         if config.wakeup_extra_delay < 1:
             config = config.with_variant(wakeup_extra_delay=1)
         super().__init__(config, stream, mem_scale=mem_scale,
-                         hierarchy=hierarchy)
+                         hierarchy=hierarchy, clock=clock)

@@ -116,10 +116,16 @@ def _run_sync(kind: str,
     clock = clock or ClockPlan()
     program = _resolve_workload(workload, seed)
     stream = InstructionStream(program)
-    core = _SYNC_CORES[kind](config, stream, mem_scale=mem_scale)
+    core = _SYNC_CORES[kind](config, stream, mem_scale=mem_scale,
+                             clock=clock)
     stats = core.run(max_instructions, warmup=warmup)
-    period_ps = round(1e6 / clock.base_mhz)
-    stats.sim_time_ps = stats.total_be_cycles * period_ps
+    if core.dvfs is not None:
+        # Piecewise sum over the governor's frequency segments; with no
+        # retunes this is exactly cycles x base period.
+        stats.sim_time_ps = core.dvfs.finalize(stats.total_be_cycles)
+    else:
+        period_ps = round(1e6 / clock.base_mhz)
+        stats.sim_time_ps = stats.total_be_cycles * period_ps
     return SimResult(name=program.name, stats=stats, core=core, clock=clock,
                      kind=kind,
                      l2_accesses=core.hierarchy.l2.stats.accesses)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field, fields
-from typing import Dict
+from typing import Dict, List
 
 
 @dataclass
@@ -42,6 +42,12 @@ class SimStats:
     srt_switches: int = 0
     redistributions: int = 0
     rename_pool_stalls: int = 0
+
+    # Adaptive clocking (repro.dvfs)
+    dvfs_retunes: int = 0
+    #: Frequency transitions as ``[be_cycle, mhz]`` pairs. Empty without a
+    #: governor; with one, the first entry is the cycle-0 starting point.
+    freq_trace: List[List[float]] = field(default_factory=list)
 
     # Wall-clock of the simulated run
     sim_time_ps: int = 0

@@ -1,0 +1,238 @@
+"""DVFS controllers: the runtime half of the governor subsystem.
+
+A controller owns the governor instance, snapshots the core's counters at
+interval boundaries, builds the :class:`IntervalTelemetry` delta, and
+applies the governor's ladder move to the clock. The cores' run loops
+carry exactly one cheap check per simulated cycle (``cycle >=
+controller.next_check``; a ``None`` test when no governor is configured),
+so the PR-2 skip-ahead fast paths are untouched — a skip that jumps past
+a boundary just makes the next interval longer (see DESIGN.md section 4).
+
+Two attachment flavours:
+
+* :class:`SyncDvfsController` — for the single-clock cores, which have no
+  :class:`ClockDomain`: it keeps the piecewise wall-clock sum itself
+  (cycles x period per frequency segment, integer picoseconds) and
+  retunes the DRAM-latency multiplier ``core.mem_scale`` (DRAM time is
+  fixed in nanoseconds, so a slower core clock sees proportionally fewer
+  stall cycles).
+* :class:`FlywheelDvfsController` — re-divides the Flywheel's
+  trace-execution fast clock through ``FlywheelCore._dvfs_rescale``,
+  which scales the EC-replay frequency target (and its DRAM multiplier)
+  and retimes ``be_dom`` via ``ClockDomain.set_frequency``; the
+  trace-creation clock stays pinned at the window-limited ``be_mhz``.
+  Wall-clock time needs no extra bookkeeping: the domain's picosecond
+  timeline already spans the frequency changes exactly.
+
+Frequency transitions are recorded in ``SimStats.freq_trace`` as
+``[cycle, mhz]`` pairs (``dvfs_retunes`` counts them), which is what
+``repro.analysis.report`` renders and the campaign store persists.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clocks.domain import mhz_to_period_ps
+from repro.core.stats import SimStats
+from repro.dvfs.config import GovernorConfig
+from repro.dvfs.governors import make_governor
+from repro.dvfs.telemetry import IntervalTelemetry
+from repro.power.clocktree import clock_energy_pj
+from repro.power.energy import dynamic_energy_pj
+from repro.power.leakage import (
+    baseline_structures,
+    flywheel_structures,
+    leakage_power_w,
+)
+from repro.power.technology import TECH_BY_NAME
+
+
+class _DvfsController:
+    """Shared snapshot/decide machinery; subclasses apply the retiming."""
+
+    def __init__(self, cfg: GovernorConfig, stats: SimStats,
+                 is_flywheel: bool):
+        self.cfg = cfg
+        self.governor = make_governor(cfg)
+        self.steps = cfg.scale_steps
+        self.idx = cfg.start_index
+        self.scale = self.steps[self.idx]
+        self.next_check: Optional[int] = cfg.interval
+        self.stats = stats
+        self.is_flywheel = is_flywheel
+        self.intervals = 0
+        # Interval-delta snapshots.
+        self._last_cycle = 0
+        self._last_committed = 0
+        self._last_issued = 0
+        self._last_mispredicts = 0
+        self._last_pool_stalls = 0
+        self._last_exec_cycles = 0
+        self._last_fe_active = 0
+        self._last_fe_gated = 0
+        self._needs_energy = self.governor.needs_energy
+        if self._needs_energy:
+            self._tech = TECH_BY_NAME[cfg.tech]
+            structures = (flywheel_structures() if is_flywheel
+                          else baseline_structures())
+            self._leak_w = leakage_power_w(self._tech, structures)
+            self._last_events = dict(stats.events)
+            self._last_l2 = 0
+
+    def reset_baseline(self, core) -> None:
+        """Re-snapshot the energy baselines at the start of timed simulation.
+
+        The controller is built in the core's constructor, but functional
+        warmup runs *afterwards* and drives thousands of accesses through
+        the memory hierarchy. Without this reset the first interval's
+        event/L2 deltas would include the whole warmup, inflating its
+        power estimate — and ``energy_budget``'s auto-calibrated envelope
+        with it. The cores call this after warmup, before the first cycle.
+        """
+        if self._needs_energy:
+            self._last_events = dict(self.stats.events)
+            self._last_l2 = core.hierarchy.l2.stats.accesses
+
+    # ----------------------------------------------------------- telemetry
+
+    def _build(self, core, c: int, time_ps: int,
+               freq_mhz: float) -> IntervalTelemetry:
+        stats = self.stats
+        cycles = max(1, c - self._last_cycle)
+        fe_active_d = stats.fe_cycles_active - self._last_fe_active
+        fe_gated_d = stats.fe_cycles_gated - self._last_fe_gated
+        fe_total = fe_active_d + fe_gated_d
+        t = IntervalTelemetry(
+            cycle=c,
+            cycles=cycles,
+            time_ps=max(1, time_ps),
+            committed=stats.committed - self._last_committed,
+            issued=stats.issued - self._last_issued,
+            mispredicts=stats.mispredicts - self._last_mispredicts,
+            iw_occ=core.iw._count / core.iw.capacity,
+            rob_occ=len(core.be.rob) / core.be.rob.capacity,
+            lsq_occ=len(core.be.lsq) / core.be.lsq.capacity,
+            replay_frac=(stats.be_cycles_execute
+                         - self._last_exec_cycles) / cycles,
+            gated_frac=fe_gated_d / fe_total if fe_total else 0.0,
+            pool_stalls=stats.rename_pool_stalls - self._last_pool_stalls,
+            scale=self.scale,
+            freq_mhz=freq_mhz,
+            is_flywheel=self.is_flywheel,
+        )
+        if self._needs_energy:
+            events = stats.events
+            last = self._last_events
+            delta = {k: v - last.get(k, 0) for k, v in events.items()}
+            l2 = core.hierarchy.l2.stats.accesses
+            delta["l2_access"] = l2 - self._last_l2
+            t.events = delta
+            tech = self._tech
+            dyn = sum(dynamic_energy_pj(delta, tech,
+                                        flywheel_rf=self.is_flywheel).values())
+            # Synchronous cores only stamp fe_cycles_active at finalize;
+            # their front end shares the single clock, so the interval's
+            # BE cycle count is the FE grid's cycle count too.
+            fe_for_clock = fe_active_d if self.is_flywheel else cycles
+            clk = clock_energy_pj(tech, cycles, fe_for_clock, cycles)
+            t.energy_pj = dyn + clk + self._leak_w * t.time_ps
+            self._last_events = dict(events)
+            self._last_l2 = l2
+        self._last_cycle = c
+        self._last_committed = stats.committed
+        self._last_issued = stats.issued
+        self._last_mispredicts = stats.mispredicts
+        self._last_pool_stalls = stats.rename_pool_stalls
+        self._last_exec_cycles = stats.be_cycles_execute
+        self._last_fe_active = stats.fe_cycles_active
+        self._last_fe_gated = stats.fe_cycles_gated
+        return t
+
+    def _next_index(self, t: IntervalTelemetry) -> int:
+        """Run the governor and clamp its move to the ladder."""
+        self.intervals += 1
+        move = self.governor.decide(t)
+        if not move:
+            return self.idx
+        return min(len(self.steps) - 1, max(0, self.idx + move))
+
+
+class SyncDvfsController(_DvfsController):
+    """DVFS for the single-clock cores (baseline / pipelined_wakeup).
+
+    Keeps the piecewise time sum the runner needs for ``sim_time_ps``:
+    with no retunes it degenerates to ``total_cycles x period`` — the
+    exact pre-DVFS formula, which is what keeps the ``static`` governor
+    bit-identical.
+    """
+
+    def __init__(self, cfg: GovernorConfig, nominal_mhz: float, core):
+        super().__init__(cfg, core.stats, is_flywheel=False)
+        self.nominal_mhz = nominal_mhz
+        self._mem_base = core.mem_scale
+        self._seg_start_cycle = 0
+        self._elapsed_ps = 0
+        self.freq_mhz = nominal_mhz * self.scale
+        self.period_ps = mhz_to_period_ps(self.freq_mhz)
+        core.mem_scale = self._mem_base * self.scale
+        self.stats.freq_trace.append([0, self.freq_mhz])
+
+    def on_interval(self, core, c: int) -> int:
+        time_ps = (c - self._last_cycle) * self.period_ps
+        t = self._build(core, c, time_ps, self.freq_mhz)
+        idx = self._next_index(t)
+        if idx != self.idx:
+            self.idx = idx
+            self.scale = self.steps[idx]
+            self._retime(core, c)
+        self.next_check = c + self.cfg.interval
+        return self.next_check
+
+    def _retime(self, core, c: int) -> None:
+        self._elapsed_ps += (c - self._seg_start_cycle) * self.period_ps
+        self._seg_start_cycle = c
+        self.freq_mhz = self.nominal_mhz * self.scale
+        self.period_ps = mhz_to_period_ps(self.freq_mhz)
+        core.mem_scale = self._mem_base * self.scale
+        self.stats.dvfs_retunes += 1
+        self.stats.freq_trace.append([c, self.freq_mhz])
+
+    def finalize(self, total_cycles: int) -> int:
+        """Piecewise wall-clock time of the whole run, in picoseconds."""
+        return (self._elapsed_ps
+                + (total_cycles - self._seg_start_cycle) * self.period_ps)
+
+
+class FlywheelDvfsController(_DvfsController):
+    """DVFS for the dual-clock core: re-divides the trace-execution clock.
+
+    The trace-creation clock is pinned by the issue window's single-cycle
+    loop, so the ladder scales only ``be_fast_mhz`` (the EC-replay
+    divisor); ``freq_trace`` records that scaled fast-clock target.
+    """
+
+    def __init__(self, cfg: GovernorConfig, core):
+        super().__init__(cfg, core.stats, is_flywheel=True)
+        self._last_now_ps = 0
+        self._fast_mhz = core.clock.be_fast_mhz
+        if self.scale != 1.0:
+            core._dvfs_rescale(self.scale, 0)
+        self.stats.freq_trace.append([0, self._fast_mhz * self.scale])
+
+    def on_interval(self, core, c: int, now_ps: int) -> int:
+        t = self._build(core, c, now_ps - self._last_now_ps,
+                        self._fast_mhz * self.scale)
+        self._last_now_ps = now_ps
+        idx = self._next_index(t)
+        if idx != self.idx:
+            self.idx = idx
+            self.scale = self.steps[idx]
+            core._dvfs_rescale(self.scale, now_ps)
+            self.stats.dvfs_retunes += 1
+            self.stats.freq_trace.append([c, self._fast_mhz * self.scale])
+        self.next_check = c + self.cfg.interval
+        return self.next_check
+
+
+__all__ = ["SyncDvfsController", "FlywheelDvfsController"]

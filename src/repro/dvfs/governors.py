@@ -1,0 +1,165 @@
+"""Governor policies: telemetry in, ladder moves out.
+
+A governor is a tiny pure-ish object: ``decide(telemetry)`` returns a
+*step delta* (-1 / 0 / +1) on the discrete frequency ladder; the
+controller clamps it to the ladder ends and performs the actual retiming
+through ``ClockDomain.set_frequency``. Governors may keep history (the
+hill climber does) but never touch the core.
+
+Shipped policies:
+
+* ``static`` — never moves; bit-identical timing to a governor-less run
+  (pinned by the golden-stats tests). Exists so the hook itself can be
+  exercised — and benchmarked — without changing behaviour.
+* ``occupancy`` — ratio control on issue-window pressure: a full window
+  means the back end is the bottleneck (step up), a draining window means
+  the engine is starved and burning clock energy for nothing (step down).
+* ``ipc_ladder`` — hill-climbs the ladder minimizing the measured
+  per-instruction energy-delay product of each interval, with hysteresis;
+  bounces off the ladder ends.
+* ``energy_budget`` — throttles to hold an average-power envelope
+  (``budget_watts``, auto-calibrated when 0) using the same power models
+  as :func:`repro.power.accounting.energy_report`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.dvfs.config import GovernorConfig
+from repro.dvfs.telemetry import IntervalTelemetry
+from repro.errors import ConfigError
+
+
+class Governor:
+    """Base policy: holds the config, decides one rung move per interval."""
+
+    #: Set by subclasses that need the interval energy estimate (costs an
+    #: event-counter snapshot per interval; skipped otherwise).
+    needs_energy = False
+
+    def __init__(self, cfg: GovernorConfig):
+        self.cfg = cfg
+
+    def decide(self, t: IntervalTelemetry) -> int:
+        """Return the ladder move for the next interval: -1, 0 or +1."""
+        raise NotImplementedError
+
+
+class StaticGovernor(Governor):
+    """Pinned clock: the hook fires, the frequency never moves."""
+
+    def decide(self, t: IntervalTelemetry) -> int:
+        return 0
+
+
+class OccupancyGovernor(Governor):
+    """Ratio up/down control on back-end pressure.
+
+    Pressure is ``max(window, ROB)`` occupancy (the window is bypassed
+    during EC replay, the ROB tracks both modes): a backed-up engine is
+    the bottleneck and steps up a rung, a draining one is starved and
+    gives the clock back.
+    """
+
+    def decide(self, t: IntervalTelemetry) -> int:
+        if t.pressure >= self.cfg.occ_high:
+            return +1
+        if t.pressure <= self.cfg.occ_low:
+            return -1
+        return 0
+
+
+class IpcLadderGovernor(Governor):
+    """Hill-climb the ladder minimizing per-instruction EDP.
+
+    Score: (interval energy / instruction) x (interval time /
+    instruction), both from the measured interval. The climber keeps
+    moving in its current direction while the score clearly improves,
+    reverses when it worsens by more than ``ladder_margin``, *holds the
+    rung* while the score sits inside the margin band (so a settled
+    climber stops retuning — ``freq_trace`` stays amortized to real
+    moves, not one entry per interval), and bounces off the ladder
+    ends. Memory-bound phases reward low rungs (time barely stretches,
+    clock energy shrinks); compute-bound phases reward high rungs (time
+    shrinks linearly). A phase change pushes the score out of the band
+    and the climb resumes.
+    """
+
+    needs_energy = True
+
+    def __init__(self, cfg: GovernorConfig):
+        super().__init__(cfg)
+        self._direction = -1        # probe below nominal first
+        self._prev_score = None
+
+    def decide(self, t: IntervalTelemetry) -> int:
+        if not t.committed:
+            return 0                # no progress, no signal: hold
+        e_per_i = t.energy_pj / t.committed
+        t_per_i = t.time_ps / t.committed
+        score = e_per_i * t_per_i   # lower is better
+        prev = self._prev_score
+        self._prev_score = score
+        margin = self.cfg.ladder_margin
+        if prev is not None:
+            if score > prev * (1.0 + margin):
+                self._direction = -self._direction
+            elif score >= prev * (1.0 - margin):
+                return 0            # plateau: hold the rung
+        steps = self.cfg.scale_steps
+        if t.scale <= steps[0] and self._direction < 0:
+            self._direction = +1
+        elif t.scale >= steps[-1] and self._direction > 0:
+            self._direction = -1
+        return self._direction
+
+
+class EnergyBudgetGovernor(Governor):
+    """Throttle to hold an average-power envelope.
+
+    With ``budget_watts == 0`` the envelope is auto-calibrated to
+    ``budget_headroom`` x the first interval's measured power, i.e. "give
+    back the headroom fraction of nominal power and buy it with the
+    cheapest cycles".
+    """
+
+    needs_energy = True
+
+    def __init__(self, cfg: GovernorConfig):
+        super().__init__(cfg)
+        self._budget_w = cfg.budget_watts or None
+
+    def decide(self, t: IntervalTelemetry) -> int:
+        watts = t.watts
+        if watts <= 0.0:
+            return 0
+        if self._budget_w is None:
+            self._budget_w = watts * self.cfg.budget_headroom
+            return -1               # start paying the envelope back
+        if watts > self._budget_w:
+            return -1
+        if watts < self._budget_w * self.cfg.budget_headroom:
+            return +1
+        return 0
+
+
+GOVERNORS: Dict[str, Type[Governor]] = {
+    "static": StaticGovernor,
+    "occupancy": OccupancyGovernor,
+    "ipc_ladder": IpcLadderGovernor,
+    "energy_budget": EnergyBudgetGovernor,
+}
+
+
+def make_governor(cfg: GovernorConfig) -> Governor:
+    """Instantiate the policy named by ``cfg`` (validated at config time)."""
+    try:
+        return GOVERNORS[cfg.name](cfg)
+    except KeyError:
+        raise ConfigError(f"unknown governor {cfg.name!r}") from None
+
+
+__all__ = ["Governor", "StaticGovernor", "OccupancyGovernor",
+           "IpcLadderGovernor", "EnergyBudgetGovernor", "GOVERNORS",
+           "make_governor"]

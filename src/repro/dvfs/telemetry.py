@@ -1,0 +1,88 @@
+"""Per-interval telemetry visible to governors.
+
+One :class:`IntervalTelemetry` is built by the controller at each interval
+boundary from *deltas* of the core's counters since the previous boundary,
+plus a few instantaneous structure occupancies. Governors see only this
+snapshot — never the core — which keeps policies trivially portable
+across core kinds and cheap to unit-test.
+
+Intervals are not exactly ``GovernorConfig.interval`` cycles long: the
+cores' skip-ahead fast paths may jump the cycle counter past a boundary,
+in which case the hook fires at the next simulated cycle and the interval
+is simply longer (``cycles`` carries the true length). See DESIGN.md
+section 4 for the full contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class IntervalTelemetry:
+    """Counter deltas + occupancies for one governor decision."""
+
+    #: Back-end cycle at the interval's end (decision timestamp).
+    cycle: int = 0
+    #: True interval length in back-end cycles (>= the configured
+    #: interval when a skip-ahead jumped the boundary).
+    cycles: int = 1
+    #: Wall-clock length of the interval in picoseconds.
+    time_ps: int = 1
+
+    # --- architectural progress (deltas) -----------------------------------
+    committed: int = 0
+    issued: int = 0
+    mispredicts: int = 0
+
+    # --- structure pressure (instantaneous occupancies, 0..1) ---------------
+    iw_occ: float = 0.0
+    rob_occ: float = 0.0
+    lsq_occ: float = 0.0
+
+    # --- mode mix (Flywheel; zero on synchronous cores) ---------------------
+    #: Fraction of interval BE cycles spent replaying from the EC.
+    replay_frac: float = 0.0
+    #: Fraction of interval FE cycles spent clock-gated.
+    gated_frac: float = 0.0
+    #: Rename-pool stall cycles in the interval.
+    pool_stalls: int = 0
+
+    # --- clock state ---------------------------------------------------------
+    #: Current ladder multiplier (what the last decision chose).
+    scale: float = 1.0
+    #: Current domain frequency in MHz.
+    freq_mhz: float = 0.0
+
+    #: Interval energy estimate in pJ (dynamic + clock + leakage at the
+    #: governor's tech node). Only populated when the governor's class
+    #: sets ``needs_energy`` — it costs an event-counter snapshot.
+    energy_pj: float = 0.0
+    #: Event-count deltas backing ``energy_pj`` (same gating).
+    events: Dict[str, int] = field(default_factory=dict)
+
+    is_flywheel: bool = False
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per back-end cycle over the interval."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def pressure(self) -> float:
+        """Back-end pressure: the fuller of window and ROB.
+
+        During EC replay the issue window is bypassed (units issue from
+        the fill buffer), so the window alone reads empty; the ROB keeps
+        tracking how backed-up the engine is in both modes.
+        """
+        return max(self.iw_occ, self.rob_occ)
+
+    @property
+    def watts(self) -> float:
+        """Average power over the interval (pJ / ps == W)."""
+        return self.energy_pj / self.time_ps if self.time_ps else 0.0
+
+
+__all__ = ["IntervalTelemetry"]

@@ -23,7 +23,7 @@ from repro.campaign.store import ResultStore
 from repro.experiments import fig01_latency, fig02_loops, fig11_same_clock
 from repro.experiments import fig12_performance, fig13_energy, fig14_power
 from repro.experiments import fig15_technology, residency, table1_freq
-from repro.experiments import ablations, sensitivity
+from repro.experiments import ablations, dvfs_sweep, sensitivity
 from repro.experiments.common import (
     DEFAULT_INSTRUCTIONS,
     DEFAULT_WARMUP,
@@ -43,11 +43,13 @@ EXPERIMENTS = {
     "residency": residency,
     "ablations": ablations,
     "sensitivity": sensitivity,
+    "dvfs": dvfs_sweep,
 }
 
 #: Presentation order for ``all``.
 ALL_ORDER = ("fig1", "table1", "fig2", "fig11", "residency", "fig12",
-             "fig13", "fig14", "fig15", "ablations", "sensitivity")
+             "fig13", "fig14", "fig15", "ablations", "sensitivity",
+             "dvfs")
 
 
 def parse_benchmarks(arg: str) -> tuple:

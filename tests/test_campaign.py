@@ -350,6 +350,62 @@ class TestCampaignCli:
         assert self.run_cli("clean", "--store", store) == 0
         assert "removed 1" in capsys.readouterr().out
 
+    def test_ls_and_export_json(self, tmp_path, capsys):
+        """Machine-readable store inspection: ls --json summaries and the
+        lossless export --json record dump both parse and agree."""
+        import json
+
+        store = str(tmp_path / "cache")
+        assert self.run_cli(
+            "run", "--experiments", "residency", "--benchmarks", "smoke",
+            "--instructions", str(N), "--warmup", str(W),
+            "--store", store, "--quiet", "--no-tables") == 0
+        capsys.readouterr()
+
+        assert self.run_cli("ls", "--json", "--store", store) == 0
+        summaries = json.loads(capsys.readouterr().out)
+        assert len(summaries) == 1
+        summary = summaries[0]
+        assert summary["kind"] == "flywheel"
+        assert summary["bench"] == "smoke"
+        assert summary["committed"] >= N
+        assert summary["governor"] is None
+        assert summary["ipc"] > 0
+
+        json_path = str(tmp_path / "out.json")
+        assert self.run_cli("export", "--json", json_path,
+                            "--store", store) == 0
+        records = json.loads(open(json_path).read())
+        assert len(records) == 1
+        assert records[0]["key"] == summary["key"]
+        assert records[0]["spec"]["bench"] == "smoke"
+        assert records[0]["result"]["stats"]["committed"] >= N
+
+        # Stdout variant parses too.
+        assert self.run_cli("export", "--json", "--store", store) == 0
+        assert json.loads(capsys.readouterr().out)[0]["key"] \
+            == summary["key"]
+
+    def test_ls_json_marks_damaged_records(self, tmp_path, capsys):
+        from repro.campaign.store import ResultStore
+
+        store_dir = str(tmp_path / "cache")
+        store = ResultStore(store_dir)
+        s = RunSpec(kind="baseline", bench="smoke", instructions=N,
+                    warmup=W)
+        store.put(s.cache_key(), s, s.execute())
+        # Schema-valid JSON whose payload cannot be summarized.
+        path = store._path(s.cache_key())
+        record = json.loads(path.read_text())
+        record["result"] = {"stats": "not-a-dict"}
+        path.write_text(json.dumps(record))
+
+        assert self.run_cli("ls", "--json", "--store", store_dir) == 0
+        out = capsys.readouterr()
+        rows = json.loads(out.out)
+        assert rows == [{"key": s.cache_key(), "damaged": True}]
+        assert "1 of 1 record(s)" in out.err
+
     def test_dry_run_lists_jobs(self, tmp_path, capsys):
         assert self.run_cli(
             "run", "--experiments", "fig11", "--benchmarks", "smoke",

@@ -30,6 +30,48 @@ class TestClockDomain:
         assert t >= 1000
         assert dom.period_ps == 500
 
+    def test_retime_mid_period_keeps_scheduled_tick(self):
+        """A switch between ticks leaves the already-scheduled edge in
+        place; the new period applies from that edge onwards (the DVFS
+        governors retune exactly like the trace-mode switch does)."""
+        dom = ClockDomain("d", 1000.0)
+        dom.advance()                          # t=0, next at 1000
+        dom.set_frequency(2000.0, now_ps=500)  # mid-period
+        assert dom.advance() == 1000           # pending edge unchanged
+        assert dom.advance() == 1500           # new 500 ps period after
+
+    def test_retime_clamps_stale_tick_to_now(self):
+        """Switching with a next tick in the past pulls it up to ``now``
+        — time never runs backwards through a frequency change."""
+        dom = ClockDomain("d", 1000.0)         # next tick would be 0
+        dom.set_frequency(500.0, now_ps=2500)
+        assert dom.advance() == 2500
+        assert dom.advance() == 2500 + 2000
+
+    def test_repeated_switches_at_same_timestamp_last_wins(self):
+        """Several governor/mode switches in one cycle collapse to the
+        final frequency; tick timestamps stay non-decreasing."""
+        dom = ClockDomain("d", 1000.0)
+        dom.advance()                          # t=0, next at 1000
+        dom.set_frequency(2000.0, now_ps=1000)
+        dom.set_frequency(500.0, now_ps=1000)
+        dom.set_frequency(1900.0, now_ps=1000)
+        assert dom.period_ps == mhz_to_period_ps(1900.0)
+        last = -1
+        for _ in range(5):
+            t = dom.advance()
+            assert t >= last
+            last = t
+
+    def test_switch_at_tick_timestamp_reschedules_from_pending_edge(self):
+        """A switch issued at exactly the pending tick's time keeps that
+        tick (ties are not pushed into the future)."""
+        dom = ClockDomain("d", 1000.0)
+        dom.advance()                          # next at 1000
+        dom.set_frequency(4000.0, now_ps=1000)
+        assert dom.advance() == 1000
+        assert dom.advance() == 1250
+
 
 class TestScheduler:
     def test_needs_domains(self):
@@ -212,6 +254,37 @@ class TestSyncFifo:
             assert popped_t - pushed_t >= latency
         # FIFO order survives the clock crossing.
         assert [p for p, _ in crossings] == sorted(p for p, _ in crossings)
+
+    def test_fifo_survives_consumer_ratio_change(self):
+        """Entries pushed before a consumer frequency switch still mature
+        in order and no earlier than push + latency, with the consumer's
+        ticks interleaving correctly across the change (the Flywheel's
+        dispatch FIFO sees exactly this at every governor retune and
+        trace-mode switch)."""
+        fe = ClockDomain("fe", 1900.0)
+        be = ClockDomain("be", 950.0)
+        sched = TickScheduler([be, fe])
+        fifo = SyncFifo("dispatch")
+        crossings = []
+        switched = False
+        for _ in range(400):
+            t, dom = sched.next_event()
+            if dom is fe:
+                # Latency is one *consumer* cycle at the period current
+                # at push time, as the core computes it.
+                fifo.push(t, t, be.period_ps)
+            else:
+                for pushed_t in fifo.pop_ready(t):
+                    crossings.append((pushed_t, t))
+                if not switched and t >= 50_000:
+                    be.set_frequency(1425.0, t)   # mid-run speed-up
+                    switched = True
+        assert switched and crossings
+        # Maturity and FIFO order hold across the ratio change.
+        pushed_order = [p for p, _t in crossings]
+        assert pushed_order == sorted(pushed_order)
+        for pushed_t, popped_t in crossings:
+            assert popped_t >= pushed_t
 
     def test_entry_waits_for_next_consumer_tick(self):
         """A push landing between consumer ticks is seen at the first

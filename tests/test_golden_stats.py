@@ -1,10 +1,17 @@
-"""Golden-stats regression pins for the core refactor.
+"""Golden-stats regression pins for the core refactors.
 
-The numbers below were captured from the pre-engine cores (PR 1 tree) on
-the seed benchmarks. The pipeline-engine refactor is required to be
-*timing-transparent*: both cores, rebuilt as compositions over
-``repro.core.engine``, must reproduce these counters exactly. Any change
-here is a modelling change, not a refactor, and must be justified.
+The baseline/flywheel numbers were captured from the pre-engine cores
+(PR 1 tree) on the seed benchmarks; the pipelined_wakeup numbers from the
+PR 2 tree that introduced the kind. Refactors over these machines are
+required to be *timing-transparent*: every core, however composed, must
+reproduce these counters exactly. Any change here is a modelling change,
+not a refactor, and must be justified.
+
+The same pins gate the DVFS subsystem (PR 3): a run with the ``static``
+governor attached — the interval hook firing, telemetry collected, zero
+ladder moves — must be bit-identical to the governor-less machine on
+every pinned counter, including ``sim_time_ps`` (the piecewise time sum
+must degenerate to cycles x period exactly).
 
 Budgets are small (8k measured / 3k warmup) so the whole module stays
 cheap, but large enough that the Flywheel passes through every mode
@@ -13,9 +20,12 @@ transition (create, replay, divergence, SRT swaps).
 
 import pytest
 
-from repro.core.sim import run_baseline, run_flywheel
+from repro.core.config import ClockPlan
+from repro.core.sim import run_baseline, run_flywheel, run_pipelined_wakeup
+from repro.dvfs import GovernorConfig
 
-#: kind/bench -> pinned counters (captured before the engine refactor).
+#: kind/bench -> pinned counters (captured before the engine refactor;
+#: pipelined_wakeup captured when the kind was introduced).
 GOLDEN = {
     "baseline/smoke": {
         "committed": 8003, "fetched": 8129, "issued": 8101,
@@ -57,16 +67,38 @@ GOLDEN = {
         "iw_write": 4012, "iw_select": 4012, "rob_write": 8057,
         "fu_op": 8640, "dcache_access": 3188,
     },
+    "pipelined_wakeup/smoke": {
+        "committed": 8003, "fetched": 8125, "issued": 8087,
+        "be_cycles_create": 8875, "be_cycles_execute": 0,
+        "fe_cycles_active": 8875, "fe_cycles_gated": 0,
+        "branches": 1201, "mispredicts": 68,
+        "traces_built": 0, "trace_hits": 0, "trace_misses": 0,
+        "instrs_from_ec": 0, "sim_time_ps": 9345375,
+        "iw_write": 8112, "iw_select": 8087, "rob_write": 8112,
+        "fu_op": 8087, "dcache_access": 3553,
+    },
+    "pipelined_wakeup/gcc": {
+        "committed": 8000, "fetched": 8057, "issued": 8047,
+        "be_cycles_create": 11887, "be_cycles_execute": 0,
+        "fe_cycles_active": 11887, "fe_cycles_gated": 0,
+        "branches": 253, "mispredicts": 67,
+        "traces_built": 0, "trace_hits": 0, "trace_misses": 0,
+        "instrs_from_ec": 0, "sim_time_ps": 12517011,
+        "iw_write": 8057, "iw_select": 8047, "rob_write": 8057,
+        "fu_op": 8047, "dcache_access": 3191,
+    },
 }
 
 _EVENT_KEYS = ("iw_write", "iw_select", "rob_write", "fu_op",
                "dcache_access")
 
-_RUNNERS = {"baseline": run_baseline, "flywheel": run_flywheel}
+_RUNNERS = {"baseline": run_baseline, "flywheel": run_flywheel,
+            "pipelined_wakeup": run_pipelined_wakeup}
 
 
-def _observed(kind: str, bench: str) -> dict:
-    stats = _RUNNERS[kind](bench, max_instructions=8000, warmup=3000).stats
+def _observed(kind: str, bench: str, clock=None) -> dict:
+    stats = _RUNNERS[kind](bench, clock=clock, max_instructions=8000,
+                           warmup=3000).stats
     out = {k: getattr(stats, k) for k in GOLDEN[f"{kind}/{bench}"]
            if k not in _EVENT_KEYS}
     out.update({k: stats.events[k] for k in _EVENT_KEYS})
@@ -77,3 +109,16 @@ def _observed(kind: str, bench: str) -> dict:
 def test_golden_counters(key):
     kind, bench = key.split("/")
     assert _observed(kind, bench) == GOLDEN[key]
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_static_governor_is_timing_transparent(key):
+    """governor="static" must reproduce the pinned numbers bit-for-bit.
+
+    The controller is attached, the interval hook fires and telemetry is
+    collected — but the clock never moves, so every pinned counter
+    (including the piecewise ``sim_time_ps``) must match exactly.
+    """
+    kind, bench = key.split("/")
+    clock = ClockPlan(governor=GovernorConfig(name="static"))
+    assert _observed(kind, bench, clock=clock) == GOLDEN[key]
