@@ -24,7 +24,7 @@ import sys
 import time
 
 from repro.analysis.report import format_freq_trace
-from repro.core.sim import run_flywheel
+from repro.session import Session
 from repro.dvfs import GOVERNOR_NAMES
 from repro.experiments.dvfs_sweep import (
     GOV_INTERVAL,
@@ -41,11 +41,13 @@ def sweep(benchmark: str, governors, instructions: int, warmup: int,
     """Evaluate every static point and requested governor on one bench."""
     program = generate_program(get_profile(benchmark), seed=seed)
     points = list(STATIC_POINTS) + governor_points(tuple(governors))
+    session = Session()
     rows = []
     for label, clock in points:
         t0 = time.perf_counter()
-        result = run_flywheel(program, clock=clock,
-                              max_instructions=instructions, warmup=warmup)
+        result = session.run_workload("flywheel", program, clock=clock,
+                                      max_instructions=instructions,
+                                      warmup=warmup)
         host_s = time.perf_counter() - t0
         rep = energy_report(result, tech)
         stats = result.stats

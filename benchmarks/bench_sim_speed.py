@@ -26,7 +26,8 @@ import json
 import sys
 import time
 
-from repro.core.sim import run_baseline, run_flywheel, run_pipelined_wakeup
+from repro.core.registry import kind_names
+from repro.session import Session
 from repro.workloads import generate_program, get_profile
 
 #: Fixed measurement protocol for BENCH_core.json.
@@ -35,32 +36,32 @@ BENCH_INSTRUCTIONS = 30_000
 BENCH_WARMUP = 10_000
 BENCH_REPEATS = 3
 
-KIND_RUNNERS = (
-    ("baseline", run_baseline),
-    ("flywheel", run_flywheel),
-    ("pipelined_wakeup", run_pipelined_wakeup),
-)
+#: Measured through the Session facade's uncached path, so any overhead
+#: the front door adds to a simulation call is part of the number. The
+#: kind list comes from the registry: a new machine kind is benchmarked
+#: (and perf-tracked via ``compare``'s missing-series check) the moment
+#: it registers.
+_SESSION = Session()
+
+
+def _run(kind, workload, instructions, warmup):
+    return _SESSION.run_workload(kind, workload,
+                                 max_instructions=instructions,
+                                 warmup=warmup)
 
 
 def test_baseline_sim_speed(benchmark):
-    def run():
-        return run_baseline("smoke", max_instructions=4000, warmup=1000)
-    result = benchmark(run)
+    result = benchmark(lambda: _run("baseline", "smoke", 4000, 1000))
     assert result.stats.committed >= 4000
 
 
 def test_flywheel_sim_speed(benchmark):
-    def run():
-        return run_flywheel("smoke", max_instructions=4000, warmup=1000)
-    result = benchmark(run)
+    result = benchmark(lambda: _run("flywheel", "smoke", 4000, 1000))
     assert result.stats.committed >= 4000
 
 
 def test_pipelined_wakeup_sim_speed(benchmark):
-    def run():
-        return run_pipelined_wakeup("smoke", max_instructions=4000,
-                                    warmup=1000)
-    result = benchmark(run)
+    result = benchmark(lambda: _run("pipelined_wakeup", "smoke", 4000, 1000))
     assert result.stats.committed >= 4000
 
 
@@ -71,15 +72,13 @@ def measure(benchmarks=BENCH_BENCHMARKS,
     """Best-of-``repeats`` cycles/sec and instrs/sec per kind/benchmark."""
     programs = {b: generate_program(get_profile(b)) for b in benchmarks}
     series = {}
-    for kind, runner in KIND_RUNNERS:
+    for kind in kind_names():
         for bench in benchmarks:
             best = float("inf")
             result = None
             for _ in range(repeats):
                 t0 = time.perf_counter()
-                result = runner(programs[bench],
-                                max_instructions=instructions,
-                                warmup=warmup)
+                result = _run(kind, programs[bench], instructions, warmup)
                 best = min(best, time.perf_counter() - t0)
             cycles = result.stats.total_be_cycles
             series[f"{kind}/{bench}"] = {

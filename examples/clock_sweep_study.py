@@ -7,13 +7,16 @@ returns of each clock domain saturate. Useful for exploring design points
 the paper did not publish, e.g. a faster back-end with an unchanged
 front-end.
 
-Usage: python examples/clock_sweep_study.py [benchmark]
+The whole grid is declared up front as ``MachineSpec`` s and executed in
+one ``Session.map`` call — deduplicated and fanned out over worker
+processes.
+
+Usage: python examples/clock_sweep_study.py [benchmark] [jobs]
 """
 
 import sys
 
-from repro.core import run_baseline, run_flywheel
-from repro.core.config import ClockPlan
+from repro import ClockPlan, MachineSpec, Session
 
 FE_STEPS = (0.0, 0.5, 1.0)
 BE_STEPS = (0.0, 0.25, 0.5)
@@ -21,19 +24,26 @@ BE_STEPS = (0.0, 0.25, 0.5)
 
 def main() -> None:
     bench = sys.argv[1] if len(sys.argv) > 1 else "mesa"
-    budget = dict(max_instructions=15_000, warmup=40_000)
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    budget = dict(instructions=15_000, warmup=40_000)
 
-    base = run_baseline(bench, **budget)
+    grid = [MachineSpec("flywheel", bench,
+                        clock=ClockPlan(fe_speedup=fe, be_speedup=be),
+                        **budget)
+            for fe in FE_STEPS for be in BE_STEPS]
+    with Session(jobs=jobs) as session:
+        results = session.map([MachineSpec("baseline", bench, **budget)]
+                              + grid)
+    base, fly_results = results[0], iter(results[1:])
+
     print(f"workload '{bench}': baseline IPC {base.stats.ipc:.2f}\n")
     header = "FE\\BE".ljust(8) + "".join(f"+{int(b*100)}%".rjust(9)
                                          for b in BE_STEPS)
     print(header)
     for fe in FE_STEPS:
         row = f"+{int(fe*100)}%".ljust(8)
-        for be in BE_STEPS:
-            fly = run_flywheel(
-                bench, clock=ClockPlan(fe_speedup=fe, be_speedup=be),
-                **budget)
+        for _be in BE_STEPS:
+            fly = next(fly_results)
             speedup = base.stats.sim_time_ps / fly.stats.sim_time_ps
             row += f"{speedup:8.2f}x"
         print(row)

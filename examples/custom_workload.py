@@ -7,8 +7,7 @@ kernel), generate the programs, and see how EC residency and the
 Flywheel's advantage react — the core trade-off of the paper.
 """
 
-from repro.core import run_baseline, run_flywheel
-from repro.core.config import ClockPlan
+from repro import ClockPlan, Session
 from repro.workloads import WorkloadProfile, generate_program
 
 KERNELS = (
@@ -34,13 +33,18 @@ KERNELS = (
 def main() -> None:
     clock = ClockPlan(fe_speedup=0.5, be_speedup=0.5)
     budget = dict(max_instructions=15_000, warmup=40_000)
+    # Ad-hoc programs aren't content-addressable benchmark names, so they
+    # go through Session.run_workload (the uncached escape hatch) rather
+    # than a MachineSpec.
+    session = Session()
     for profile in KERNELS:
         program = generate_program(profile)
         print(f"\n=== {profile.name} ===")
         print(f"static instructions: {program.num_static_instrs}, "
               f"code footprint: {program.code_bytes // 1024} KiB")
-        base = run_baseline(program, **budget)
-        fly = run_flywheel(program, clock=clock, **budget)
+        base = session.run_workload("baseline", program, **budget)
+        fly = session.run_workload("flywheel", program, clock=clock,
+                                   **budget)
         print(f"baseline IPC {base.stats.ipc:.2f}, "
               f"mispredict rate {base.stats.mispredict_rate:.1%}")
         print(f"flywheel: EC residency {fly.stats.ec_residency:.0%}, "

@@ -7,8 +7,7 @@ breakdown plus the static/clock split at 130nm, 90nm and 60nm — the
 mechanics behind the paper's Figs. 13 and 15.
 """
 
-from repro.core import run_baseline, run_flywheel
-from repro.core.config import ClockPlan
+from repro import ClockPlan, MachineSpec, Session
 from repro.power import TECH_130, TECH_60, TECH_90, energy_report
 
 
@@ -19,12 +18,15 @@ def _top_events(report, n=6):
 
 
 def main() -> None:
-    budget = dict(max_instructions=15_000, warmup=40_000)
+    budget = dict(instructions=15_000, warmup=40_000)
     clock = ClockPlan(fe_speedup=1.0, be_speedup=0.5)
 
+    session = Session()
     for bench in ("mesa", "vortex"):
-        base = run_baseline(bench, **budget)
-        fly = run_flywheel(bench, clock=clock, **budget)
+        base, fly = session.map([
+            MachineSpec("baseline", bench, **budget),
+            MachineSpec("flywheel", bench, clock=clock, **budget),
+        ])
         print(f"\n=== {bench} (EC residency "
               f"{fly.stats.ec_residency:.0%}) ===")
         for tech in (TECH_130, TECH_90, TECH_60):

@@ -1,25 +1,35 @@
 #!/usr/bin/env python3
-"""Quickstart: run both cores on one workload and compare.
+"""Quickstart: describe machines with MachineSpec, run them in a Session.
 
 Simulates the ``gcc``-like synthetic benchmark on the fully synchronous
 baseline and on the Flywheel microarchitecture at the paper's headline
 clock plan (front-end +50%, trace-execution back-end +50%), then prints
 performance, EC-path residency and an energy comparison at 130nm.
+
+``MachineSpec`` is the declarative description of one machine+run;
+``Session`` is the front door that executes (and memoizes) specs. Both
+runs below go through ``Session.map``, which dedups the batch and — for
+a session built with ``jobs=N`` or a persistent ``store=`` — fans it
+out over worker processes / resolves it from earlier invocations.
 """
 
-from repro.core import run_baseline, run_flywheel
-from repro.core.config import ClockPlan
+from repro import ClockPlan, MachineSpec, Session
 from repro.power import TECH_130, energy_report
 
 
 def main() -> None:
     bench = "gcc"
-    budget = dict(max_instructions=20_000, warmup=40_000)
+    budget = dict(instructions=20_000, warmup=40_000)
 
-    print(f"simulating '{bench}' ...")
-    base = run_baseline(bench, **budget)
-    fly = run_flywheel(bench, clock=ClockPlan(fe_speedup=0.5,
-                                              be_speedup=0.5), **budget)
+    specs = [
+        MachineSpec("baseline", bench, **budget),
+        MachineSpec("flywheel", bench,
+                    clock=ClockPlan(fe_speedup=0.5, be_speedup=0.5),
+                    **budget),
+    ]
+    print(f"simulating '{bench}' ({len(specs)} specs) ...")
+    with Session() as session:
+        base, fly = session.map(specs)
 
     bs, fs = base.stats, fly.stats
     print(f"\nbaseline : {bs.committed} instrs in {bs.total_be_cycles} "

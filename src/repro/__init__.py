@@ -7,31 +7,39 @@ synthetic SPEC-like workload substrate, CACTI-style latency scaling,
 Wattch-style power models, and an experiment harness that regenerates
 every table and figure of the paper's evaluation.
 
-Quick start::
+Quick start — describe machines with :class:`MachineSpec`, execute them
+through one :class:`Session`::
 
-    from repro import run_baseline, run_flywheel, ClockPlan
-    base = run_baseline("gcc")
-    fly = run_flywheel("gcc", clock=ClockPlan(fe_speedup=0.5,
-                                              be_speedup=0.5))
+    from repro import ClockPlan, MachineSpec, Session
+
+    with Session() as session:
+        base = session.run(MachineSpec("baseline", "gcc"))
+        fly = session.run(MachineSpec(
+            "flywheel", "gcc",
+            clock=ClockPlan(fe_speedup=0.5, be_speedup=0.5)))
     print(base.stats.ipc, fly.stats.ec_residency)
 
-Campaigns — batch a sweep across worker processes with persistent,
-content-addressed memoization (repeat runs are near-instant)::
+Batches — ``Session.map`` dedups a spec list, resolves what it can from
+the (optional, persistent) store and fans the rest out over worker
+processes; ``Session.stream`` yields structured progress events for
+long campaigns::
 
-    from repro import ClockPlan
-    from repro.campaign import ResultStore, Sweep, run_campaign
+    session = Session(store="~/.cache/repro-campaign", jobs=4)
+    specs = [MachineSpec("flywheel", b,
+                         clock=ClockPlan(fe_speedup=0.5, be_speedup=0.5),
+                         seed=s)
+             for b in ("gcc", "gzip") for s in (1, 2, 3)]
+    results = session.map(specs)              # input-order results
+    print(session.hits, session.executed)     # warm rerun: all hits
 
-    sweep = Sweep(benchmarks=("gcc", "gzip"),
-                  clocks=(ClockPlan(fe_speedup=0.5, be_speedup=0.5),),
-                  seeds=(1, 2, 3))
-    jobs = sweep.expand()
-    report = run_campaign(jobs, store=ResultStore(), jobs=4)
-    print(report.summary())
-    fly_gcc = [j for j in jobs
-               if j.kind == "flywheel" and j.bench == "gcc"]
-    print([report.result_for(j).ipc for j in fly_gcc])
+Machine kinds (``"baseline"``, ``"pipelined_wakeup"``, ``"flywheel"``)
+resolve through the pluggable registry —
+:func:`repro.core.registry.register_kind` adds third-party machines that
+then work everywhere a kind name is accepted. The ``run_baseline`` /
+``run_flywheel`` / ``run_pipelined_wakeup`` trio remain as deprecated
+wrappers over the default session.
 
-or from the shell: ``python -m repro.campaign run --experiments all
+From the shell: ``python -m repro.campaign run --experiments all
 --jobs 4`` (see also ``ls`` / ``export --csv`` / ``clean``).
 """
 
@@ -49,6 +57,12 @@ from repro.core import (
     run_flywheel,
     run_pipelined_wakeup,
 )
+from repro.core.registry import (
+    get_kind,
+    kind_names,
+    register_kind,
+    unregister_kind,
+)
 from repro.dvfs import GovernorConfig
 from repro.errors import (
     CampaignError,
@@ -58,6 +72,7 @@ from repro.errors import (
     WorkloadError,
 )
 from repro.power import energy_report
+from repro.session import MachineSpec, Session, SessionEvent, default_session
 from repro.workloads import (
     PROFILES,
     SPEC_NAMES,
@@ -66,9 +81,20 @@ from repro.workloads import (
     get_profile,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # The front door.
+    "MachineSpec",
+    "Session",
+    "SessionEvent",
+    "default_session",
+    # Core-kind registry.
+    "register_kind",
+    "unregister_kind",
+    "get_kind",
+    "kind_names",
+    # Machines, configs, results.
     "BaselineCore",
     "FlywheelCore",
     "PipelinedWakeupCore",
@@ -78,19 +104,23 @@ __all__ = [
     "GovernorConfig",
     "SimResult",
     "SimStats",
+    # Deprecated one-shot wrappers (use Session/MachineSpec).
     "run_baseline",
     "run_flywheel",
     "run_pipelined_wakeup",
+    # Power and workloads.
     "energy_report",
     "PROFILES",
     "SPEC_NAMES",
     "WorkloadProfile",
     "generate_program",
     "get_profile",
+    # Campaign layer.
     "ResultStore",
     "RunSpec",
     "Sweep",
     "run_campaign",
+    # Errors.
     "ReproError",
     "CampaignError",
     "ConfigError",

@@ -32,6 +32,10 @@ from repro.errors import CampaignError
 #: progress callback: (done, total, spec, source) with source "hit"/"run".
 ProgressFn = Callable[[int, int, RunSpec, str], None]
 
+#: result callback: (spec, result, source) fired as each job resolves —
+#: the hook ``Session.stream`` uses to yield results incrementally.
+ResultFn = Callable[[RunSpec, SimResult, str], None]
+
 
 @dataclass
 class CampaignReport:
@@ -74,7 +78,8 @@ def run_campaign(specs: Iterable[RunSpec],
                  store: Optional[ResultStore] = None,
                  jobs: int = 1,
                  timeout_s: Optional[float] = None,
-                 progress: Optional[ProgressFn] = None) -> CampaignReport:
+                 progress: Optional[ProgressFn] = None,
+                 on_result: Optional[ResultFn] = None) -> CampaignReport:
     """Execute a deduplicated job list, memoizing through ``store``.
 
     With ``jobs > 1`` the misses run under a ``multiprocessing`` pool;
@@ -82,6 +87,11 @@ def run_campaign(specs: Iterable[RunSpec],
     on the cache directory. Identical seeds give identical stats dicts
     regardless of ``jobs`` (simulations are deterministic and share no
     state across runs).
+
+    ``on_result`` (if given) is called with ``(spec, result, source)``
+    as each job resolves, after the result is in the report (and, for
+    executed jobs, persisted); it is how ``Session.stream`` surfaces
+    results incrementally.
     """
     t0 = time.monotonic()
     specs = dedup(specs)
@@ -92,6 +102,8 @@ def run_campaign(specs: Iterable[RunSpec],
     def note(spec: RunSpec, source: str) -> None:
         nonlocal done
         done += 1
+        if on_result is not None:
+            on_result(spec, report.results[spec.cache_key()], source)
         if progress is not None:
             progress(done, total, spec, source)
 

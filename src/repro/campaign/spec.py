@@ -5,6 +5,10 @@ clock plan, config overrides, seed, instruction budgets and memory scale.
 Specs are frozen, hashable and normalized (``None`` configs are resolved
 to the defaults the runners would substitute), so two ways of writing the
 same run produce the same spec — and the same :meth:`RunSpec.cache_key`.
+It is the campaign projection of the public
+:class:`~repro.session.MachineSpec` (which delegates its validation,
+normalization and content addressing here), and kinds resolve through
+the pluggable registry in :mod:`repro.core.registry`.
 
 The cache key is a content hash over the full spec payload *plus a code
 fingerprint* of the installed ``repro`` sources, so results memoized by
@@ -26,37 +30,34 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import ClockPlan, CoreConfig, FlywheelConfig, stable_hash
+from repro.core.registry import KindInfo, get_kind, kind_names
 from repro.core.sim import (
     DEFAULT_INSTRUCTIONS,
     DEFAULT_WARMUP,
     KIND_BASELINE,
     KIND_FLYWHEEL,
-    KIND_PIPELINED_WAKEUP,
     SimResult,
     default_config,
-    run_baseline,
-    run_flywheel,
-    run_pipelined_wakeup,
 )
-from repro.errors import CampaignError
+from repro.errors import CampaignError, ConfigError
 from repro.frontend.bpred import BPredConfig
 from repro.mem.hierarchy import MemoryConfig
 from repro.workloads.profiles import get_profile
-
-#: Every valid run kind (spec validation).
-KINDS = (KIND_BASELINE, KIND_FLYWHEEL, KIND_PIPELINED_WAKEUP)
 
 #: Default sweep axis: the paper's headline comparison pair. The
 #: pipelined-wakeup machine is opt-in (it only appears in the Fig. 2
 #: loop study), so default sweeps don't silently grow a third leg.
 DEFAULT_SWEEP_KINDS = (KIND_BASELINE, KIND_FLYWHEEL)
 
-#: Runner per synchronous kind (the Flywheel needs the ``fly`` axis and
-#: keeps its own call in :meth:`RunSpec.execute`).
-_SYNC_RUNNERS = {
-    KIND_BASELINE: run_baseline,
-    KIND_PIPELINED_WAKEUP: run_pipelined_wakeup,
-}
+
+def _kind_info(kind: str) -> KindInfo:
+    """Registry lookup re-raised as the campaign layer's error type."""
+    try:
+        return get_kind(kind)
+    except ConfigError:
+        raise CampaignError(
+            f"unknown run kind {kind!r}; expected one of "
+            f"{kind_names()}") from None
 
 
 #: Subpackages whose code determines simulation output (and therefore
@@ -108,11 +109,9 @@ class RunSpec:
     mem_scale: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.kind not in KINDS:
-            raise CampaignError(
-                f"unknown run kind {self.kind!r}; expected one of {KINDS}")
+        info = _kind_info(self.kind)
         get_profile(self.bench)  # raises WorkloadError for unknown names
-        if self.kind != KIND_FLYWHEEL and self.fly is not None:
+        if not info.dual_clock and self.fly is not None:
             raise CampaignError(
                 f"{self.kind} spec for {self.bench!r} cannot carry a "
                 "FlywheelConfig")
@@ -125,22 +124,21 @@ class RunSpec:
         # written with the defaults spelled out, so resolve them here and
         # let equality / hashing / dedup see through the difference.
         clock = self.clock or ClockPlan()
-        if self.kind != KIND_FLYWHEEL:
+        if not info.dual_clock:
             # The synchronous kinds only see base_mhz (and the governor);
             # dropping the speedup axes collapses their legs of clock
             # sweeps.
             clock = ClockPlan(base_mhz=clock.base_mhz,
                               governor=clock.governor)
         object.__setattr__(self, "clock", clock)
-        config = self.config or default_config(self.kind)
-        if (self.kind == KIND_PIPELINED_WAKEUP
-                and config.wakeup_extra_delay < 1):
-            # The core forces the pipelined loop; normalize here so the
-            # spec's payload/cache key/variant() describe the machine
-            # actually simulated.
-            config = config.with_variant(wakeup_extra_delay=1)
+        config = self.config or info.default_config()
+        if info.normalize_config is not None:
+            # e.g. pipelined_wakeup forces wakeup_extra_delay >= 1; the
+            # spec's payload/cache key/variant() must describe the
+            # machine actually simulated.
+            config = info.normalize_config(config)
         object.__setattr__(self, "config", config)
-        if self.kind == KIND_FLYWHEEL:
+        if info.dual_clock:
             object.__setattr__(self, "fly", self.fly or FlywheelConfig())
 
     # ----------------------------------------------------------- identity
@@ -212,16 +210,10 @@ class RunSpec:
 
     def execute(self) -> SimResult:
         """Run the simulation this spec describes (in this process)."""
-        if self.kind == KIND_FLYWHEEL:
-            return run_flywheel(
-                self.bench, config=self.config, fly=self.fly,
-                clock=self.clock, max_instructions=self.instructions,
-                warmup=self.warmup, seed=self.seed,
-                mem_scale=self.mem_scale)
-        return _SYNC_RUNNERS[self.kind](
-            self.bench, config=self.config, clock=self.clock,
-            max_instructions=self.instructions, warmup=self.warmup,
-            seed=self.seed, mem_scale=self.mem_scale)
+        return _kind_info(self.kind).runner(
+            self.bench, config=self.config, fly=self.fly,
+            clock=self.clock, max_instructions=self.instructions,
+            warmup=self.warmup, seed=self.seed, mem_scale=self.mem_scale)
 
     # ----------------------------------------------- (de)serialization
 
@@ -301,7 +293,7 @@ class Sweep:
                                   self.mem_scales)):
             specs.append(RunSpec(
                 kind=kind, bench=bench, clock=clock, config=config,
-                fly=fly if kind == KIND_FLYWHEEL else None,
+                fly=fly if _kind_info(kind).dual_clock else None,
                 seed=seed, instructions=self.instructions,
                 warmup=self.warmup, mem_scale=mem_scale))
         return dedup(specs)

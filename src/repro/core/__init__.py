@@ -14,7 +14,9 @@ from repro.core.stats import SimStats
 from repro.core.baseline import BaselineCore
 from repro.core.pipelined import PipelinedWakeupCore
 from repro.core.flywheel import FlywheelCore
+from repro.core.registry import get_kind, kind_names, register_kind
 from repro.core.sim import (
+    execute_kind,
     run_baseline,
     run_flywheel,
     run_pipelined_wakeup,
@@ -29,6 +31,10 @@ __all__ = [
     "BaselineCore",
     "PipelinedWakeupCore",
     "FlywheelCore",
+    "execute_kind",
+    "get_kind",
+    "kind_names",
+    "register_kind",
     "run_baseline",
     "run_flywheel",
     "run_pipelined_wakeup",

@@ -1,0 +1,128 @@
+"""Pluggable core-kind registry.
+
+One table describes every machine the library can simulate: its kind
+tag, core class, runner, default :class:`~repro.core.config.CoreConfig`
+and the normalization hooks the campaign layer needs. The three built-in
+kinds (``baseline``, ``pipelined_wakeup``, ``flywheel``) self-register
+when :mod:`repro.core.sim` is imported; third-party machines plug in
+with :func:`register_kind` and immediately work everywhere a kind name
+is accepted — ``MachineSpec``/``RunSpec``, :class:`repro.Session`,
+sweeps, the campaign store and the CLIs — without touching ``sim.py``
+or ``campaign/spec.py``.
+
+A registered runner must have the uniform signature::
+
+    runner(workload, config=None, fly=None, clock=None,
+           max_instructions=..., warmup=..., seed=None,
+           mem_scale=1.0) -> SimResult
+
+and stamp ``SimResult.kind`` with the registered name. Multiprocess
+campaigns execute specs in worker processes, so a third-party kind must
+be registered at import time of a module the spec's consumers import
+(exactly like the built-ins, which register on ``repro.core.sim``
+import).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.core.config import CoreConfig
+from repro.errors import ConfigError
+
+__all__ = [
+    "KindInfo",
+    "get_kind",
+    "is_registered",
+    "kind_names",
+    "register_kind",
+    "unregister_kind",
+]
+
+
+@dataclass(frozen=True)
+class KindInfo:
+    """Everything the library knows about one machine kind.
+
+    ``core`` may be the core class itself or a zero-argument callable
+    resolving to it (lets a kind defer a heavy import to first use);
+    read it through :attr:`core_cls`. ``dual_clock`` kinds keep the
+    full :class:`ClockPlan` (front-end/back-end speedups) and accept a
+    ``FlywheelConfig``; synchronous kinds are normalized down to
+    ``base_mhz`` + governor and must not carry one.
+    ``normalize_config`` (optional) maps a user config onto the config
+    the core will actually simulate, so spec payloads/cache keys always
+    describe the simulated machine.
+    """
+
+    name: str
+    runner: Callable
+    core: Union[type, Callable[[], type]]
+    default_config: Callable[[], CoreConfig] = CoreConfig
+    dual_clock: bool = False
+    normalize_config: Optional[Callable[[CoreConfig], CoreConfig]] = None
+
+    @property
+    def core_cls(self) -> type:
+        return self.core if isinstance(self.core, type) else self.core()
+
+
+#: Registration-ordered kind table. The built-ins land here on
+#: ``repro.core.sim`` import, before any spec can be validated.
+_KINDS: Dict[str, KindInfo] = {}
+
+
+def register_kind(name: str,
+                  core_cls: Union[type, Callable[[], type]],
+                  runner: Callable,
+                  *,
+                  default_config: Callable[[], CoreConfig] = CoreConfig,
+                  dual_clock: bool = False,
+                  normalize_config: Optional[
+                      Callable[[CoreConfig], CoreConfig]] = None,
+                  replace: bool = False) -> KindInfo:
+    """Register a machine kind; returns its :class:`KindInfo`.
+
+    ``name`` becomes a valid ``kind`` everywhere (specs, sessions,
+    sweeps, store records). Duplicate names are rejected with
+    :class:`~repro.errors.ConfigError` unless ``replace=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigError(f"core kind name must be a non-empty string, "
+                          f"got {name!r}")
+    if name in _KINDS and not replace:
+        raise ConfigError(
+            f"core kind {name!r} is already registered; pass replace=True "
+            "to override it")
+    info = KindInfo(name=name, runner=runner, core=core_cls,
+                    default_config=default_config, dual_clock=dual_clock,
+                    normalize_config=normalize_config)
+    _KINDS[name] = info
+    return info
+
+
+def unregister_kind(name: str) -> None:
+    """Remove a kind (primarily for tests tearing down plug-ins)."""
+    if name not in _KINDS:
+        raise ConfigError(f"core kind {name!r} is not registered")
+    del _KINDS[name]
+
+
+def get_kind(name: str) -> KindInfo:
+    """Look a kind up, raising :class:`ConfigError` for unknown names."""
+    try:
+        return _KINDS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown core kind {name!r}; registered kinds: "
+            f"{', '.join(_KINDS) or '(none)'}") from None
+
+
+def is_registered(name: str) -> bool:
+    return name in _KINDS
+
+
+def kind_names() -> Tuple[str, ...]:
+    """All registered kind names, in registration order."""
+    return tuple(_KINDS)

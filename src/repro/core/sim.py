@@ -1,8 +1,11 @@
-"""High-level simulation entry points.
+"""Simulation execution for the registered core kinds.
 
-These wrap workload construction, core instantiation and the run loop into
-one call, returning a :class:`SimResult` with the stats and the structures
-needed by the power model (cache stats, window counters, clock cycles).
+This module defines :class:`SimResult`, the per-kind runners, and the
+built-in registrations in the core-kind registry
+(:mod:`repro.core.registry`). The preferred public entry point is
+``repro.Session`` with a ``repro.MachineSpec`` — the historical
+``run_baseline``/``run_flywheel``/``run_pipelined_wakeup`` trio survive
+below as thin deprecated wrappers over the module-level default session.
 
 ``SimResult`` is serializable: the live ``core`` object is an in-process
 convenience only, and everything downstream consumers need (the power
@@ -14,12 +17,14 @@ simulations in worker processes and memoize them on disk.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional, Union
 
 from repro.core.baseline import BaselineCore
 from repro.core.config import ClockPlan, CoreConfig, FlywheelConfig
 from repro.core.pipelined import PipelinedWakeupCore
+from repro.core.registry import get_kind, register_kind
 from repro.core.stats import SimStats
 from repro.workloads import (
     InstructionStream,
@@ -29,22 +34,29 @@ from repro.workloads import (
     get_profile,
 )
 
+__all__ = [
+    "DEFAULT_INSTRUCTIONS",
+    "DEFAULT_WARMUP",
+    "KIND_BASELINE",
+    "KIND_FLYWHEEL",
+    "KIND_PIPELINED_WAKEUP",
+    "SimResult",
+    "default_config",
+    "execute_kind",
+    "run_baseline",
+    "run_flywheel",
+    "run_pipelined_wakeup",
+]
+
 #: Default instruction budgets; small enough for a pure-Python simulator,
 #: large enough for normalized ratios to stabilise on these workloads.
 DEFAULT_WARMUP = 60_000
 DEFAULT_INSTRUCTIONS = 60_000
 
-#: Kind tags stamped on results (and used by campaign run specs).
+#: Kind tags of the built-in machines (also their registry names).
 KIND_BASELINE = "baseline"
 KIND_FLYWHEEL = "flywheel"
 KIND_PIPELINED_WAKEUP = "pipelined_wakeup"
-
-#: Synchronous (single-clock) core classes by kind; the Flywheel is the
-#: only dual-clock machine and keeps its own runner.
-_SYNC_CORES = {
-    KIND_BASELINE: BaselineCore,
-    KIND_PIPELINED_WAKEUP: PipelinedWakeupCore,
-}
 
 
 @dataclass
@@ -53,15 +65,18 @@ class SimResult:
 
     ``core`` holds the live simulator for in-process inspection and is
     ``None`` on results rebuilt from a worker process or the on-disk
-    store; ``kind`` and ``l2_accesses`` carry the information the power
-    model would otherwise read off the core object.
+    store; ``kind`` is the machine's registered name in
+    :mod:`repro.core.registry` (``"baseline"``, ``"flywheel"``,
+    ``"pipelined_wakeup"``, or a plug-in kind), and ``l2_accesses``
+    carries the information the power model would otherwise read off
+    the core object.
     """
 
     name: str
     stats: SimStats
-    core: object = None   # BaselineCore / FlywheelCore, or None if detached
+    core: object = None   # live core object, or None if detached
     clock: ClockPlan = field(default_factory=ClockPlan)
-    kind: str = ""        # KIND_BASELINE or KIND_FLYWHEEL
+    kind: str = ""        # registered kind name (see repro.core.registry)
     l2_accesses: int = 0
 
     @property
@@ -105,30 +120,142 @@ def _resolve_workload(workload: Union[str, WorkloadProfile, Program],
     return generate_program(workload, seed=seed)
 
 
-def _run_sync(kind: str,
-              workload: Union[str, WorkloadProfile, Program],
-              config: Optional[CoreConfig],
-              clock: Optional[ClockPlan],
-              max_instructions: int, warmup: int,
-              seed: Optional[int], mem_scale: float) -> SimResult:
-    """Shared runner for the single-clock core kinds."""
-    config = config or default_config(kind)
+# ---------------------------------------------------------------- runners
+
+def _sync_runner(kind: str):
+    """Runner factory for the single-clock core kinds."""
+
+    def runner(workload: Union[str, WorkloadProfile, Program],
+               config: Optional[CoreConfig] = None,
+               fly: Optional[FlywheelConfig] = None,
+               clock: Optional[ClockPlan] = None,
+               max_instructions: int = DEFAULT_INSTRUCTIONS,
+               warmup: int = DEFAULT_WARMUP,
+               seed: Optional[int] = None,
+               mem_scale: float = 1.0) -> SimResult:
+        info = get_kind(kind)
+        if fly is not None:
+            from repro.errors import ConfigError
+
+            raise ConfigError(f"{kind} does not take a FlywheelConfig")
+        config = config or info.default_config()
+        clock = clock or ClockPlan()
+        program = _resolve_workload(workload, seed)
+        stream = InstructionStream(program)
+        core = info.core_cls(config, stream, mem_scale=mem_scale,
+                             clock=clock)
+        stats = core.run(max_instructions, warmup=warmup)
+        if core.dvfs is not None:
+            # Piecewise sum over the governor's frequency segments; with
+            # no retunes this is exactly cycles x base period.
+            stats.sim_time_ps = core.dvfs.finalize(stats.total_be_cycles)
+        else:
+            period_ps = round(1e6 / clock.base_mhz)
+            stats.sim_time_ps = stats.total_be_cycles * period_ps
+        return SimResult(name=program.name, stats=stats, core=core,
+                         clock=clock, kind=info.name,
+                         l2_accesses=core.hierarchy.l2.stats.accesses)
+
+    runner.__name__ = f"run_{kind}_kind"
+    return runner
+
+
+def _flywheel_runner(workload: Union[str, WorkloadProfile, Program],
+                     config: Optional[CoreConfig] = None,
+                     fly: Optional[FlywheelConfig] = None,
+                     clock: Optional[ClockPlan] = None,
+                     max_instructions: int = DEFAULT_INSTRUCTIONS,
+                     warmup: int = DEFAULT_WARMUP,
+                     seed: Optional[int] = None,
+                     mem_scale: float = 1.0) -> SimResult:
+    """Runner for the dual-clock Flywheel machine."""
+    info = get_kind(KIND_FLYWHEEL)
+    config = config or info.default_config()
+    fly = fly or FlywheelConfig()
     clock = clock or ClockPlan()
     program = _resolve_workload(workload, seed)
     stream = InstructionStream(program)
-    core = _SYNC_CORES[kind](config, stream, mem_scale=mem_scale,
-                             clock=clock)
+    core = info.core_cls(config, fly, clock, stream, mem_scale=mem_scale)
     stats = core.run(max_instructions, warmup=warmup)
-    if core.dvfs is not None:
-        # Piecewise sum over the governor's frequency segments; with no
-        # retunes this is exactly cycles x base period.
-        stats.sim_time_ps = core.dvfs.finalize(stats.total_be_cycles)
-    else:
-        period_ps = round(1e6 / clock.base_mhz)
-        stats.sim_time_ps = stats.total_be_cycles * period_ps
     return SimResult(name=program.name, stats=stats, core=core, clock=clock,
-                     kind=kind,
+                     kind=info.name,
                      l2_accesses=core.hierarchy.l2.stats.accesses)
+
+
+def execute_kind(kind: str,
+                 workload: Union[str, WorkloadProfile, Program],
+                 config: Optional[CoreConfig] = None,
+                 fly: Optional[FlywheelConfig] = None,
+                 clock: Optional[ClockPlan] = None,
+                 max_instructions: int = DEFAULT_INSTRUCTIONS,
+                 warmup: int = DEFAULT_WARMUP,
+                 seed: Optional[int] = None,
+                 mem_scale: float = 1.0) -> SimResult:
+    """Execute any registered kind through its runner (uncached)."""
+    return get_kind(kind).runner(
+        workload, config=config, fly=fly, clock=clock,
+        max_instructions=max_instructions, warmup=warmup, seed=seed,
+        mem_scale=mem_scale)
+
+
+def default_config(kind: str) -> CoreConfig:
+    """The CoreConfig a kind's runner substitutes for ``config=None``.
+
+    Single source of truth (via the registry) shared by the runners and
+    spec normalization, so ``config=None`` and an explicitly passed
+    default always describe (and hash as) the same run.
+    """
+    return get_kind(kind).default_config()
+
+
+# --------------------------------------------------- built-in registration
+
+def _flywheel_core_cls() -> type:
+    from repro.core.flywheel import FlywheelCore  # package-init-order guard
+
+    return FlywheelCore
+
+
+def _flywheel_default_config() -> CoreConfig:
+    return CoreConfig(phys_regs=512, regread_stages=2)
+
+
+def _pipelined_default_config() -> CoreConfig:
+    return CoreConfig(wakeup_extra_delay=1)
+
+
+def _pipelined_normalize(config: CoreConfig) -> CoreConfig:
+    # The core forces the pipelined Wake-Up/Select loop; normalizing here
+    # keeps spec payloads/cache keys describing the machine actually
+    # simulated.
+    if config.wakeup_extra_delay < 1:
+        return config.with_variant(wakeup_extra_delay=1)
+    return config
+
+
+register_kind(KIND_BASELINE, BaselineCore, _sync_runner(KIND_BASELINE))
+register_kind(KIND_PIPELINED_WAKEUP, PipelinedWakeupCore,
+              _sync_runner(KIND_PIPELINED_WAKEUP),
+              default_config=_pipelined_default_config,
+              normalize_config=_pipelined_normalize)
+register_kind(KIND_FLYWHEEL, _flywheel_core_cls, _flywheel_runner,
+              default_config=_flywheel_default_config, dual_clock=True)
+
+
+# ----------------------------------------------------- deprecated wrappers
+
+#: Wrapper names that already warned; each shim warns once per process.
+_DEPRECATION_WARNED = set()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"repro.{name}() is deprecated; use {replacement} "
+        "(see repro.Session / repro.MachineSpec)",
+        DeprecationWarning, stacklevel=3)
 
 
 def run_baseline(workload: Union[str, WorkloadProfile, Program],
@@ -140,11 +267,20 @@ def run_baseline(workload: Union[str, WorkloadProfile, Program],
                  mem_scale: float = 1.0) -> SimResult:
     """Run the fully synchronous baseline core on a workload.
 
+    .. deprecated:: 1.1
+       Thin wrapper over the default :class:`repro.Session`; prefer
+       ``Session().run(MachineSpec(kind="baseline", bench=...))``.
+
     ``workload`` may be a benchmark name (``"gcc"``), a profile, or a
     pre-built program. The single clock is ``clock.base_mhz``.
     """
-    return _run_sync(KIND_BASELINE, workload, config, clock,
-                     max_instructions, warmup, seed, mem_scale)
+    _warn_deprecated("run_baseline", 'Session.run(MachineSpec("baseline", ...))')
+    from repro.session import default_session
+
+    return default_session().run_workload(
+        KIND_BASELINE, workload, config=config, clock=clock,
+        max_instructions=max_instructions, warmup=warmup, seed=seed,
+        mem_scale=mem_scale)
 
 
 def run_pipelined_wakeup(workload: Union[str, WorkloadProfile, Program],
@@ -156,12 +292,22 @@ def run_pipelined_wakeup(workload: Union[str, WorkloadProfile, Program],
                          mem_scale: float = 1.0) -> SimResult:
     """Run the pipelined Wake-Up/Select variant (paper Fig. 2).
 
-    Identical to :func:`run_baseline` except the issue window's
-    Wake-Up/Select loop is pipelined (``wakeup_extra_delay >= 1``),
-    sacrificing back-to-back scheduling of dependent instructions.
+    .. deprecated:: 1.1
+       Thin wrapper over the default :class:`repro.Session`; prefer
+       ``Session().run(MachineSpec(kind="pipelined_wakeup", bench=...))``.
+
+    Identical to the baseline except the issue window's Wake-Up/Select
+    loop is pipelined (``wakeup_extra_delay >= 1``), sacrificing
+    back-to-back scheduling of dependent instructions.
     """
-    return _run_sync(KIND_PIPELINED_WAKEUP, workload, config, clock,
-                     max_instructions, warmup, seed, mem_scale)
+    _warn_deprecated("run_pipelined_wakeup",
+                     'Session.run(MachineSpec("pipelined_wakeup", ...))')
+    from repro.session import default_session
+
+    return default_session().run_workload(
+        KIND_PIPELINED_WAKEUP, workload, config=config, clock=clock,
+        max_instructions=max_instructions, warmup=warmup, seed=seed,
+        mem_scale=mem_scale)
 
 
 def run_flywheel(workload: Union[str, WorkloadProfile, Program],
@@ -174,34 +320,19 @@ def run_flywheel(workload: Union[str, WorkloadProfile, Program],
                  mem_scale: float = 1.0) -> SimResult:
     """Run the Flywheel core on a workload under a clock plan.
 
-    ``mem_scale`` inflates DRAM latency the same way it does for
-    :func:`run_baseline` (on top of the clock-domain scaling the core
-    already applies), so memory-sensitivity sweeps cover both cores.
+    .. deprecated:: 1.1
+       Thin wrapper over the default :class:`repro.Session`; prefer
+       ``Session().run(MachineSpec(kind="flywheel", bench=...))``.
+
+    ``mem_scale`` inflates DRAM latency the same way it does for the
+    baseline (on top of the clock-domain scaling the core already
+    applies), so memory-sensitivity sweeps cover both cores.
     """
-    from repro.core.flywheel import FlywheelCore  # cycle-import guard
+    _warn_deprecated("run_flywheel",
+                     'Session.run(MachineSpec("flywheel", ...))')
+    from repro.session import default_session
 
-    config = config or default_config(KIND_FLYWHEEL)
-    fly = fly or FlywheelConfig()
-    clock = clock or ClockPlan()
-    program = _resolve_workload(workload, seed)
-    stream = InstructionStream(program)
-    core = FlywheelCore(config, fly, clock, stream, mem_scale=mem_scale)
-    stats = core.run(max_instructions, warmup=warmup)
-    return SimResult(name=program.name, stats=stats, core=core, clock=clock,
-                     kind=KIND_FLYWHEEL,
-                     l2_accesses=core.hierarchy.l2.stats.accesses)
-
-
-def default_config(kind: str) -> CoreConfig:
-    """The CoreConfig the runners substitute for ``config=None``.
-
-    Single source of truth shared by ``run_baseline``/``run_flywheel``
-    and campaign-spec normalization, so ``config=None`` and an
-    explicitly passed default always describe (and hash as) the same
-    run.
-    """
-    if kind == KIND_FLYWHEEL:
-        return CoreConfig(phys_regs=512, regread_stages=2)
-    if kind == KIND_PIPELINED_WAKEUP:
-        return CoreConfig(wakeup_extra_delay=1)
-    return CoreConfig()
+    return default_session().run_workload(
+        KIND_FLYWHEEL, workload, config=config, fly=fly, clock=clock,
+        max_instructions=max_instructions, warmup=warmup, seed=seed,
+        mem_scale=mem_scale)

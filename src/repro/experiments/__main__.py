@@ -20,6 +20,7 @@ import sys
 
 from repro.campaign.executor import print_progress
 from repro.campaign.store import ResultStore
+from repro.session import Session
 from repro.experiments import fig01_latency, fig02_loops, fig11_same_clock
 from repro.experiments import fig12_performance, fig13_energy, fig14_power
 from repro.experiments import fig15_technology, residency, table1_freq
@@ -91,12 +92,14 @@ def add_run_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def build_context(args) -> ExperimentContext:
-    store = ResultStore(args.store) if args.store else None
+    """One Session per invocation; the experiments share its caches."""
+    session = Session(store=ResultStore(args.store) if args.store else None,
+                      jobs=args.jobs, timeout_s=args.timeout)
     return ExperimentContext(instructions=args.instructions,
                              warmup=args.warmup,
                              benchmarks=args.benchmarks,
                              seed=args.seed,
-                             store=store)
+                             session=session)
 
 
 def warm_experiments(ctx: ExperimentContext, names, jobs=1, timeout=None,

@@ -1,15 +1,15 @@
 """Shared experiment plumbing: cached runs, normalization, table printing.
 
-``ExperimentContext`` executes on top of the campaign engine: every
-``baseline()``/``flywheel()`` call is materialized as a
-:class:`~repro.campaign.spec.RunSpec` and memoized under its content
-hash. That keying covers the *entire* run configuration — benchmark,
-clock plan, core/flywheel config overrides, seed, budgets and memory
-scale — so two calls that differ only in ``config=``/``fly=`` can never
-alias (the old ``(kind, bench, clock, tag)`` key silently returned stale
-results for exactly that case, and its ``tag`` parameter is gone).
+``ExperimentContext`` is a thin experiment-facing veneer over the
+:class:`repro.Session` front door: every ``baseline()``/``flywheel()``
+call is materialized as a :class:`~repro.session.MachineSpec` and
+executed through the session, memoized under its content hash. That
+keying covers the *entire* run configuration — benchmark, clock plan,
+core/flywheel config overrides, seed, budgets and memory scale — so two
+calls that differ only in ``config=``/``fly=`` can never alias.
 
-Attach a :class:`~repro.campaign.store.ResultStore` to make the cache
+Attach a :class:`~repro.campaign.store.ResultStore` (or pass a
+ready-made :class:`~repro.session.Session`) to make the cache
 persistent across invocations, and use :meth:`ExperimentContext.warm`
 to fan a job list out over worker processes before the (serial)
 experiment code reads the results back.
@@ -18,11 +18,9 @@ experiment code reads the results back.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
-from repro.campaign.executor import CampaignReport, ProgressFn, run_campaign
-from repro.campaign.spec import RunSpec
+from repro.campaign.executor import CampaignReport, ProgressFn
 from repro.campaign.store import ResultStore
 from repro.core.config import ClockPlan, CoreConfig, FlywheelConfig
 from repro.core.sim import (
@@ -31,6 +29,8 @@ from repro.core.sim import (
     KIND_PIPELINED_WAKEUP,
     SimResult,
 )
+from repro.errors import ConfigError
+from repro.session import MachineSpec, Session, SpecLike
 from repro.workloads.profiles import SPEC_NAMES
 
 #: Default measurement budgets. The paper fast-forwards 500M instructions
@@ -40,23 +40,48 @@ DEFAULT_INSTRUCTIONS = 30_000
 DEFAULT_WARMUP = 60_000
 
 
-@dataclass
 class ExperimentContext:
-    """Run cache + budgets shared by all experiments in one invocation.
+    """Session + budgets shared by all experiments in one invocation.
 
     ``seed`` applies to every run (None = each benchmark's stable default
     seed); ``store`` adds a persistent second cache level; ``executed``
-    counts simulations this context actually ran, so tests can verify a
-    warmed context performs zero new work.
+    counts simulations the underlying session actually ran, so tests can
+    verify a warmed context performs zero new work. Pass ``session`` to
+    share one (and its warm cache) across several contexts.
     """
 
-    instructions: int = DEFAULT_INSTRUCTIONS
-    warmup: int = DEFAULT_WARMUP
-    benchmarks: Tuple[str, ...] = SPEC_NAMES
-    seed: Optional[int] = None
-    store: Optional[ResultStore] = None
-    executed: int = 0
-    _cache: Dict[str, SimResult] = field(default_factory=dict)
+    def __init__(self,
+                 instructions: int = DEFAULT_INSTRUCTIONS,
+                 warmup: int = DEFAULT_WARMUP,
+                 benchmarks: Tuple[str, ...] = SPEC_NAMES,
+                 seed: Optional[int] = None,
+                 store: Optional[ResultStore] = None,
+                 session: Optional[Session] = None):
+        self.instructions = instructions
+        self.warmup = warmup
+        self.benchmarks = benchmarks
+        self.seed = seed
+        if session is not None and store is not None:
+            raise ConfigError(
+                "pass either store= or session= to ExperimentContext, "
+                "not both (attach the store to the session instead)")
+        self.session = session if session is not None else Session(store=store)
+        self.store = self.session.store
+        # Snapshot so a shared session's earlier work (and this
+        # context's own warm() batches) never count as on-demand runs.
+        self._executed_before = self.session.executed
+        self._warm_executed = 0
+
+    @property
+    def executed(self) -> int:
+        """Simulations run *on demand* by this context — outside
+        :meth:`warm` and after construction.
+
+        Zero after a fully warmed experiment pass; the CLIs report a
+        positive value as presets drifting from the experiment code.
+        """
+        return (self.session.executed - self._executed_before
+                - self._warm_executed)
 
     # ------------------------------------------------------------- runs
 
@@ -64,29 +89,15 @@ class ExperimentContext:
               clock: Optional[ClockPlan] = None,
               config: Optional[CoreConfig] = None,
               fly: Optional[FlywheelConfig] = None,
-              mem_scale: float = 1.0) -> RunSpec:
-        return RunSpec(kind=kind, bench=bench, clock=clock, config=config,
-                       fly=fly, seed=self.seed,
-                       instructions=self.instructions, warmup=self.warmup,
-                       mem_scale=mem_scale)
+              mem_scale: float = 1.0) -> MachineSpec:
+        return MachineSpec(kind=kind, bench=bench, clock=clock,
+                           config=config, fly=fly, seed=self.seed,
+                           instructions=self.instructions,
+                           warmup=self.warmup, mem_scale=mem_scale)
 
-    def run_spec(self, spec: RunSpec) -> SimResult:
+    def run_spec(self, spec: SpecLike) -> SimResult:
         """Memoized execution: memory cache, then store, then simulate."""
-        key = spec.cache_key()
-        hit = self._cache.get(key)
-        if hit is not None:
-            return hit
-        if self.store is not None:
-            stored = self.store.get(key)
-            if stored is not None:
-                self._cache[key] = stored
-                return stored
-        result = spec.execute()
-        if self.store is not None:
-            self.store.put(key, spec, result)
-        self._cache[key] = result
-        self.executed += 1
-        return result
+        return self.session.run(spec)
 
     def baseline(self, bench: str, clock: Optional[ClockPlan] = None,
                  config: Optional[CoreConfig] = None,
@@ -118,19 +129,20 @@ class ExperimentContext:
 
     # --------------------------------------------------------- campaigns
 
-    def warm(self, specs: Iterable[RunSpec], jobs: int = 1,
+    def warm(self, specs: Iterable[SpecLike], jobs: Optional[int] = None,
              timeout_s: Optional[float] = None,
              progress: Optional[ProgressFn] = None) -> CampaignReport:
-        """Pre-execute a job list (parallel if ``jobs > 1``) into the cache.
+        """Pre-execute a job list (parallel) into the session's cache.
 
-        Experiments run afterwards hit the in-memory cache instead of
-        simulating; any spec the list missed still runs on demand.
-        Specs already in the in-memory cache are skipped outright.
+        ``jobs=None`` defers to the session's configured worker count.
+        Experiments run afterwards hit the session's in-memory cache
+        instead of simulating; any spec the list missed still runs on
+        demand. Specs already in the in-memory cache are skipped
+        outright.
         """
-        specs = [s for s in specs if s.cache_key() not in self._cache]
-        report = run_campaign(specs, store=self.store, jobs=jobs,
-                              timeout_s=timeout_s, progress=progress)
-        self._cache.update(report.results)
+        report = self.session.warm(specs, jobs=jobs, timeout_s=timeout_s,
+                                   progress=progress)
+        self._warm_executed += report.executed
         return report
 
 

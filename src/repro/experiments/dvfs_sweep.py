@@ -26,6 +26,7 @@ from repro.core.config import ClockPlan
 from repro.dvfs import GovernorConfig
 from repro.experiments.common import ExperimentContext, print_table
 from repro.power import TECH_130, energy_report
+from repro.session import MachineSpec
 
 #: The nominal plan every governor modulates: the paper's headline
 #: configuration (front end +100%, trace-execution back end +50%).
@@ -74,12 +75,27 @@ def sweep_points() -> List[Tuple[str, ClockPlan]]:
     return list(STATIC_POINTS) + governor_points()
 
 
+def _spec(ctx: ExperimentContext, bench: str, clock: ClockPlan) -> MachineSpec:
+    """One sweep point as a declarative spec (the session dedups these)."""
+    return MachineSpec("flywheel", bench, clock=clock, seed=ctx.seed,
+                       instructions=ctx.instructions, warmup=ctx.warmup)
+
+
+def warm_sweep(ctx: ExperimentContext) -> None:
+    """Batch the whole sweep through ``Session.map`` before the serial
+    table code reads results back (parallel when the session has
+    ``jobs > 1``; a no-op on a warmed store)."""
+    ctx.session.map([_spec(ctx, bench, clock)
+                     for bench in ctx.benchmarks
+                     for _label, clock in sweep_points()])
+
+
 def evaluate(ctx: ExperimentContext, bench: str,
              tech=TECH_130) -> List[Dict]:
     """Absolute time/energy/EDP for every sweep point on one benchmark."""
     points = []
     for label, clock in sweep_points():
-        result = ctx.flywheel(bench, clock)
+        result = ctx.session.run(_spec(ctx, bench, clock))
         rep = energy_report(result, tech)
         points.append({
             "label": label,
@@ -102,6 +118,7 @@ def run(ctx: ExperimentContext, tech=TECH_130) -> List[dict]:
     ``adaptive_wins`` (True when some governor beats *every* static
     point on EDP for that benchmark).
     """
+    warm_sweep(ctx)
     rows = []
     for bench in ctx.benchmarks:
         points = evaluate(ctx, bench, tech)

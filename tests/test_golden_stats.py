@@ -13,6 +13,10 @@ ladder moves — must be bit-identical to the governor-less machine on
 every pinned counter, including ``sim_time_ps`` (the piecewise time sum
 must degenerate to cycles x period exactly).
 
+The same pins gate the API redesign (PR 4): every kind is executed
+through the ``Session``/``MachineSpec`` front door, and the deprecated
+``run_*`` wrappers must return byte-identical serialized payloads.
+
 Budgets are small (8k measured / 3k warmup) so the whole module stays
 cheap, but large enough that the Flywheel passes through every mode
 transition (create, replay, divergence, SRT swaps).
@@ -23,6 +27,7 @@ import pytest
 from repro.core.config import ClockPlan
 from repro.core.sim import run_baseline, run_flywheel, run_pipelined_wakeup
 from repro.dvfs import GovernorConfig
+from repro.session import MachineSpec, Session
 
 #: kind/bench -> pinned counters (captured before the engine refactor;
 #: pipelined_wakeup captured when the kind was introduced).
@@ -92,17 +97,30 @@ GOLDEN = {
 _EVENT_KEYS = ("iw_write", "iw_select", "rob_write", "fu_op",
                "dcache_access")
 
-_RUNNERS = {"baseline": run_baseline, "flywheel": run_flywheel,
-            "pipelined_wakeup": run_pipelined_wakeup}
+_WRAPPERS = {"baseline": run_baseline, "flywheel": run_flywheel,
+             "pipelined_wakeup": run_pipelined_wakeup}
+
+#: Shared session: the API-redesign acceptance gate runs every pin
+#: through the ``Session``/``MachineSpec`` front door (and memoizes, so
+#: the wrapper-parity test below only re-simulates its wrapper side).
+_SESSION = Session()
 
 
-def _observed(kind: str, bench: str, clock=None) -> dict:
-    stats = _RUNNERS[kind](bench, clock=clock, max_instructions=8000,
-                           warmup=3000).stats
-    out = {k: getattr(stats, k) for k in GOLDEN[f"{kind}/{bench}"]
+def _result(kind: str, bench: str, clock=None):
+    return _SESSION.run(MachineSpec(kind, bench, clock=clock,
+                                    instructions=8000, warmup=3000))
+
+
+def _pin_counters(stats, key: str) -> dict:
+    out = {k: getattr(stats, k) for k in GOLDEN[key]
            if k not in _EVENT_KEYS}
     out.update({k: stats.events[k] for k in _EVENT_KEYS})
     return out
+
+
+def _observed(kind: str, bench: str, clock=None) -> dict:
+    return _pin_counters(_result(kind, bench, clock=clock).stats,
+                         f"{kind}/{bench}")
 
 
 @pytest.mark.parametrize("key", sorted(GOLDEN))
@@ -122,3 +140,18 @@ def test_static_governor_is_timing_transparent(key):
     kind, bench = key.split("/")
     clock = ClockPlan(governor=GovernorConfig(name="static"))
     assert _observed(kind, bench, clock=clock) == GOLDEN[key]
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_deprecated_wrappers_match_session_byte_for_byte(key):
+    """The legacy ``run_*`` wrappers are the same machine as the new API.
+
+    Their serialized payloads — stats, clock, kind tag, L2 count — must
+    be byte-identical to the ``Session``/``MachineSpec`` path (which
+    also means they reproduce the golden pins above).
+    """
+    kind, bench = key.split("/")
+    via_wrapper = _WRAPPERS[kind](bench, max_instructions=8000, warmup=3000)
+    via_session = _result(kind, bench)
+    assert via_wrapper.to_dict() == via_session.to_dict()
+    assert via_wrapper.core is not None     # wrappers keep the live core
