@@ -36,6 +36,15 @@ BENCH_INSTRUCTIONS = 30_000
 BENCH_WARMUP = 10_000
 BENCH_REPEATS = 3
 
+#: Miss-path series: the baseline on the pointer_chase profile, once on
+#: the default (fast-path) memory system and once through the general
+#: MemorySpec path with a non-blocking MSHR file — so BENCH_core.json
+#: tracks the cost of the memory subsystem's miss machinery over time,
+#: not just the L1-hit hot loop the other series exercise.
+MEMBOUND_BENCH = "pointer_chase"
+MEMBOUND_INSTRUCTIONS = 8_000
+MEMBOUND_WARMUP = 4_000
+
 #: Measured through the Session facade's uncached path, so any overhead
 #: the front door adds to a simulation call is part of the number. The
 #: kind list comes from the registry: a new machine kind is benchmarked
@@ -44,10 +53,10 @@ BENCH_REPEATS = 3
 _SESSION = Session()
 
 
-def _run(kind, workload, instructions, warmup):
+def _run(kind, workload, instructions, warmup, config=None):
     return _SESSION.run_workload(kind, workload,
                                  max_instructions=instructions,
-                                 warmup=warmup)
+                                 warmup=warmup, config=config)
 
 
 def test_baseline_sim_speed(benchmark):
@@ -87,6 +96,7 @@ def measure(benchmarks=BENCH_BENCHMARKS,
                 "cycles_per_sec": round(cycles / best),
                 "instrs_per_sec": round(result.stats.committed / best),
             }
+    series.update(_measure_membound(repeats))
     return {
         "protocol": {
             "benchmarks": list(benchmarks),
@@ -98,6 +108,38 @@ def measure(benchmarks=BENCH_BENCHMARKS,
         "python": sys.version.split()[0],
         "series": series,
     }
+
+
+def _measure_membound(repeats: int) -> dict:
+    """The miss-path series (see :data:`MEMBOUND_BENCH`).
+
+    The budget is smaller than the main series — a memory-bound run
+    simulates far more cycles per committed instruction — so the whole
+    measurement stays in the same time envelope.
+    """
+    from repro.core.config import CoreConfig
+    from repro.mem import MemorySpec
+
+    program = generate_program(get_profile(MEMBOUND_BENCH))
+    points = (("membound", None),
+              ("membound-mshr4", CoreConfig(mem=MemorySpec(mshrs=4))))
+    series = {}
+    for label, config in points:
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = _run("baseline", program, MEMBOUND_INSTRUCTIONS,
+                          MEMBOUND_WARMUP, config=config)
+            best = min(best, time.perf_counter() - t0)
+        cycles = result.stats.total_be_cycles
+        series[f"{label}/{MEMBOUND_BENCH}"] = {
+            "seconds": round(best, 4),
+            "cycles": cycles,
+            "cycles_per_sec": round(cycles / best),
+            "instrs_per_sec": round(result.stats.committed / best),
+        }
+    return series
 
 
 def compare(fresh: dict, committed: dict) -> list:

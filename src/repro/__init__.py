@@ -71,6 +71,7 @@ from repro.errors import (
     SimulationError,
     WorkloadError,
 )
+from repro.mem import CacheLevelSpec, MemorySpec
 from repro.power import energy_report
 from repro.session import MachineSpec, Session, SessionEvent, default_session
 from repro.workloads import (
@@ -81,7 +82,7 @@ from repro.workloads import (
     get_profile,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # The front door.
@@ -102,6 +103,8 @@ __all__ = [
     "CoreConfig",
     "FlywheelConfig",
     "GovernorConfig",
+    "CacheLevelSpec",
+    "MemorySpec",
     "SimResult",
     "SimStats",
     # Deprecated one-shot wrappers (use Session/MachineSpec).

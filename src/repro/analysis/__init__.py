@@ -1,6 +1,11 @@
 """Result presentation helpers: ASCII charts and markdown tables."""
 
 from repro.analysis.charts import bar_chart, series_table
-from repro.analysis.report import markdown_table
+from repro.analysis.report import (
+    cache_stats_rows,
+    format_cache_stats,
+    markdown_table,
+)
 
-__all__ = ["bar_chart", "series_table", "markdown_table"]
+__all__ = ["bar_chart", "series_table", "markdown_table",
+           "cache_stats_rows", "format_cache_stats"]

@@ -1,5 +1,6 @@
 """Markdown rendering of experiment rows (used to build EXPERIMENTS.md),
-plus per-interval frequency-trace rendering for governed (DVFS) runs."""
+per-interval frequency-trace rendering for governed (DVFS) runs, and
+memory-system (per-level cache / MSHR) summaries."""
 
 from __future__ import annotations
 
@@ -38,6 +39,57 @@ def freq_trace_rows(stats, limit: int = 0) -> List[dict]:
         if limit and len(rows) >= limit:
             break
     return rows
+
+
+def cache_stats_rows(stats) -> List[dict]:
+    """``SimStats.cache_stats`` as table rows (one per memory level).
+
+    Rows carry the raw counters plus the derived ``hit_rate``; the
+    ``mshr`` aggregate (when miss handling is modelled) is rendered as
+    its own pseudo-level with occupancy/stall columns instead.
+    """
+    rows: List[dict] = []
+    for name, counters in stats.cache_stats.items():
+        if name == "mshr":
+            rows.append({"level": "mshr",
+                         "accesses": counters.get("allocs", 0),
+                         "hit_rate": 0.0,
+                         "occupancy_avg": counters.get("occupancy_avg", 0.0),
+                         "stall_cycles": counters.get("stall_cycles", 0),
+                         "peak": counters.get("peak", 0)})
+            continue
+        accesses = counters.get("accesses", 0)
+        rows.append({"level": name, "accesses": accesses,
+                     "hit_rate": (counters.get("hits", 0) / accesses
+                                  if accesses else 0.0),
+                     "prefetches": counters.get("prefetches", 0),
+                     "writebacks": counters.get("writebacks", 0)})
+    return rows
+
+
+def format_cache_stats(stats) -> str:
+    """One-line memory-system summary for experiment footers.
+
+    Example: ``l1i 99.8% l1d 74.9% l2 12.3% | mshr avg 7.2 peak 8
+    (336907 stall cyc)``. Empty string when no cache stats were
+    recorded (pre-spec store records).
+    """
+    cache = stats.cache_stats
+    if not cache:
+        return ""
+    bits = []
+    for name, counters in cache.items():
+        if name == "mshr":
+            continue
+        accesses = counters.get("accesses", 0)
+        rate = counters.get("hits", 0) / accesses if accesses else 0.0
+        bits.append(f"{name} {rate:.1%}")
+    mshr = cache.get("mshr")
+    if mshr:
+        bits.append(f"| mshr avg {mshr.get('occupancy_avg', 0.0):.1f} "
+                    f"peak {mshr.get('peak', 0)} "
+                    f"({mshr.get('stall_cycles', 0)} stall cyc)")
+    return " ".join(bits)
 
 
 #: Eight-level bar glyphs for the sparkline rendering.

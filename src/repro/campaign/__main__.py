@@ -43,6 +43,28 @@ def _spec_variant(spec_payload) -> str:
     return ";".join(f"{k}={v}" for k, v in variant.items())
 
 
+def _spec_mem_label(spec_payload) -> str:
+    """Compact MemorySpec tag of a stored spec, or '' (default memory)."""
+    from repro.mem.spec import MemorySpec
+
+    mem = (spec_payload.get("config") or {}).get("mem")
+    if not mem:
+        return ""
+    try:
+        return MemorySpec.from_dict(mem).label
+    except Exception:
+        return "?"
+
+
+def _cache_rate(stats_payload, level: str):
+    """Demand hit rate of one level from a serialized stats dict, or ''."""
+    counters = (stats_payload.get("cache_stats") or {}).get(level)
+    if not counters:
+        return ""
+    accesses = counters.get("accesses", 0)
+    return round(counters.get("hits", 0) / accesses, 6) if accesses else ""
+
+
 def _add_store_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--store", default=None, metavar="DIR",
                         help=f"store directory (default: "
@@ -117,6 +139,7 @@ def _ls_summary(record) -> dict:
         "fe_speedup": clock.get("fe_speedup"),
         "be_speedup": clock.get("be_speedup"),
         "governor": governor.get("name"),
+        "mem": _spec_mem_label(spec),
         "variant": _spec_variant(spec),
         "committed": stats.committed,
         "cycles": stats.total_be_cycles,
@@ -133,12 +156,14 @@ def _ls_line(summary: dict) -> str:
     created = time.strftime("%Y-%m-%d %H:%M",
                             time.localtime(summary["created"]))
     gov = summary["governor"]
+    mem = summary.get("mem")
     variant = summary["variant"]
     return (f"{summary['key'][:12]}  {created}  "
             f"code={summary['code']}  n={summary['instructions']}  "
             f"ipc={summary['ipc']:5.2f}  "
             f"{summary['kind']}/{summary['bench']}"
             + (f"  gov={gov}" if gov else "")
+            + (f"  mem={mem}" if mem else "")
             + (f"  [{variant}]" if variant else ""))
 
 
@@ -186,6 +211,9 @@ _EXPORT_STATS = ("committed", "fetched", "issued", "be_cycles_create",
                  "be_cycles_execute", "branches", "mispredicts",
                  "traces_built", "trace_hits", "trace_misses",
                  "instrs_from_ec", "sim_time_ps")
+#: Memory-system columns: per-level demand hit rates plus the MSHR
+#: aggregates (blank on records from pre-MemorySpec code versions).
+_EXPORT_CACHE_LEVELS = ("l1i", "l1d", "l2")
 
 
 def _cmd_export(args) -> int:
@@ -193,8 +221,10 @@ def _cmd_export(args) -> int:
     if args.json is not None:
         return _export_json(store, args.json)
     header = (["key", "created", "code"] + list(_EXPORT_SPEC)
-              + ["variant"] + list(_EXPORT_CLOCK) + list(_EXPORT_STATS)
-              + ["ipc", "l2_accesses"])
+              + ["variant", "mem"] + list(_EXPORT_CLOCK)
+              + list(_EXPORT_STATS) + ["ipc", "l2_accesses"]
+              + [f"{lvl}_hit_rate" for lvl in _EXPORT_CACHE_LEVELS]
+              + ["mshr_occ_avg", "mshr_stall_cycles"])
     out = (open(args.csv, "w", newline="", encoding="utf-8")
            if args.csv != "-" else sys.stdout)
     try:
@@ -210,12 +240,17 @@ def _cmd_export(args) -> int:
                 row = [record.get("key", ""), record.get("created", ""),
                        record.get("code", "")]
                 row += [spec.get(c, "") for c in _EXPORT_SPEC]
-                row += [_spec_variant(spec)]
+                row += [_spec_variant(spec), _spec_mem_label(spec)]
                 row += [spec.get("clock", {}).get(c, "")
                         for c in _EXPORT_CLOCK]
                 row += [stats.get(c, "") for c in _EXPORT_STATS]
                 row += [SimStats.from_dict(stats).ipc,
                         result.get("l2_accesses", "")]
+                row += [_cache_rate(stats, lvl)
+                        for lvl in _EXPORT_CACHE_LEVELS]
+                mshr = (stats.get("cache_stats") or {}).get("mshr") or {}
+                row += [mshr.get("occupancy_avg", ""),
+                        mshr.get("stall_cycles", "")]
             except (KeyError, TypeError, ValueError, AttributeError):
                 continue        # damaged record: skip, don't abort the CSV
             writer.writerow(row)

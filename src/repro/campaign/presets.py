@@ -144,6 +144,15 @@ def _dvfs(bench, n, w, seed):
             for _label, clock in sweep_points()]
 
 
+def _mem(bench, n, w, seed):
+    # The memory sweep measures its own memory-bound workloads, not the
+    # CLI's benchmark subset; enumerate the full fixed grid (dedup
+    # collapses the per-bench repeats).
+    from repro.experiments.mem_sweep import sweep_specs
+
+    return [spec.run_spec() for spec in sweep_specs(n, w, seed)]
+
+
 _ENUMERATORS = {
     "fig2": _fig2,
     "fig11": _fig11,
@@ -155,6 +164,7 @@ _ENUMERATORS = {
     "ablations": _ablations,
     "sensitivity": _sensitivity,
     "dvfs": _dvfs,
+    "mem": _mem,
 }
 
 #: Experiments that run simulations (the rest are analytical).

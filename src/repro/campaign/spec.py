@@ -42,6 +42,7 @@ from repro.core.sim import (
 from repro.errors import CampaignError, ConfigError
 from repro.frontend.bpred import BPredConfig
 from repro.mem.hierarchy import MemoryConfig
+from repro.mem.spec import MemorySpec
 from repro.workloads.profiles import get_profile
 
 #: Default sweep axis: the paper's headline comparison pair. The
@@ -145,11 +146,17 @@ class RunSpec:
 
     def payload(self) -> Dict[str, object]:
         """JSON-safe dict of everything that defines this run."""
+        config = asdict(self.config)
+        if config.get("mem") is None:
+            # The default (derive-from-``memory``) spec serializes the
+            # way pre-MemorySpec payloads did, keeping every historical
+            # content address — and the PR 4 pinned hashes — intact.
+            del config["mem"]
         return {
             "kind": self.kind,
             "bench": self.bench,
             "clock": asdict(self.clock),
-            "config": asdict(self.config),
+            "config": config,
             "fly": asdict(self.fly) if self.fly is not None else None,
             "seed": self.seed,
             "instructions": self.instructions,
@@ -175,6 +182,8 @@ class RunSpec:
         out: Dict[str, object] = {}
         base = asdict(default_config(self.kind))
         for name, value in asdict(self.config).items():
+            if name == "mem":
+                continue  # rendered compactly by ``label`` (mem=...)
             if value != base[name]:
                 out[name] = value
         if self.fly is not None:
@@ -196,6 +205,8 @@ class RunSpec:
         if self.clock.governor is not None:
             gov = self.clock.governor
             bits.append(f"gov={gov.name}@{gov.interval}")
+        if self.config.mem is not None:
+            bits.append(f"mem={self.config.mem.label}")
         if self.seed is not None:
             bits.append(f"seed={self.seed}")
         if self.mem_scale != 1.0:
@@ -282,15 +293,22 @@ class Sweep:
     flys: Tuple[Optional[FlywheelConfig], ...] = (None,)
     seeds: Tuple[Optional[int], ...] = (None,)
     mem_scales: Tuple[float, ...] = (1.0,)
+    #: Memory-system axis: each entry overrides ``config.mem`` on top of
+    #: whatever the ``configs`` axis supplies (``None`` = leave as-is),
+    #: so memory specs sweep first-class without hand-building configs.
+    mems: Tuple[Optional[MemorySpec], ...] = (None,)
     instructions: int = DEFAULT_INSTRUCTIONS
     warmup: int = DEFAULT_WARMUP
 
     def expand(self) -> List[RunSpec]:
         specs = []
-        for kind, bench, clock, config, fly, seed, mem_scale in (
+        for kind, bench, clock, config, fly, seed, mem_scale, mem in (
                 itertools.product(self.kinds, self.benchmarks, self.clocks,
                                   self.configs, self.flys, self.seeds,
-                                  self.mem_scales)):
+                                  self.mem_scales, self.mems)):
+            if mem is not None:
+                base = config or _kind_info(kind).default_config()
+                config = base.with_variant(mem=mem)
             specs.append(RunSpec(
                 kind=kind, bench=bench, clock=clock, config=config,
                 fly=fly if _kind_info(kind).dual_clock else None,

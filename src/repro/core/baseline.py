@@ -55,7 +55,8 @@ class BaselineCore:
         self.stats = SimStats()
         self._events = self.stats.events
 
-        self.hierarchy = hierarchy or MemoryHierarchy(config.memory)
+        self.hierarchy = hierarchy or MemoryHierarchy(config.memory,
+                                                      spec=config.mem)
         self.bpred = BranchPredictor(config.bpred)
         self.renamer = R10KRenamer(config.phys_regs)
         self.iw = IssueWindow(config.iw_entries, config.issue_width,
@@ -224,23 +225,28 @@ class BaselineCore:
         self.stats.fe_cycles_active = self.cycle
 
     def _functional_warmup(self, count: int) -> None:
-        """Prime caches and predictor without timing."""
+        """Prime caches and predictor without timing.
+
+        Goes through the hierarchy's ``warm_*`` entry points: contents
+        and counters update exactly as a timed access would, but the
+        MSHR timeline is never touched (a warmup burst at cycle 0 must
+        not pre-occupy the miss-overlap budget of the timed run).
+        """
         next_instr = self._next_instr
-        ifetch = self._ifetch
-        load = self.hierarchy.load
-        store = self.hierarchy.store
+        ifetch = self.hierarchy.warm_ifetch
+        load = self.hierarchy.warm_load
+        store = self.hierarchy.warm_store
         predict = self._predict
-        mem_scale = self.mem_scale
         for _ in range(count):
             dyn = next_instr()
             if dyn.seq % 4 == 0:
-                ifetch(dyn.pc, mem_scale)
+                ifetch(dyn.pc)
             addr = dyn.mem_addr
             if addr is not None:
                 if dyn.op is OpClass.LOAD:
-                    load(addr, mem_scale)
+                    load(addr)
                 else:
-                    store(addr, mem_scale)
+                    store(addr)
             if dyn.branch_kind:
                 predict(dyn)
 
@@ -379,7 +385,7 @@ class BaselineCore:
         for _ in range(self._fetch_width):
             dyn = next_instr()
             if not n:
-                delay = (self._ifetch(dyn.pc, self.mem_scale)
+                delay = (self._ifetch(dyn.pc, self.mem_scale, c)
                          + self._extra_fe_stages)
                 events["icache_access"] += 1
             dyn.lat_ready = c + delay

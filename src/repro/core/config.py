@@ -12,9 +12,12 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass, field, replace
 
+from typing import Optional
+
 from repro.errors import ConfigError
 from repro.frontend.bpred import BPredConfig
 from repro.mem.hierarchy import MemoryConfig
+from repro.mem.spec import MemorySpec
 
 
 def _canonical(value: object) -> object:
@@ -95,7 +98,19 @@ class CoreConfig(_CacheKeyMixin):
     bpred: BPredConfig = field(default_factory=BPredConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
 
+    #: Composable memory-system spec (:class:`repro.mem.MemorySpec`):
+    #: cache-level chain, MSHR budget, prefetcher, write policy. ``None``
+    #: derives the legacy-equivalent spec from ``memory`` — the
+    #: golden-pinned default. The kind registry's ``normalize_config``
+    #: folds an explicit-but-redundant spec back to ``None`` so both
+    #: spellings of the default machine hash identically.
+    mem: Optional[MemorySpec] = None
+
     def __post_init__(self) -> None:
+        # Rebuild a spec handed over as a plain payload dict (store
+        # records, RunSpec.from_dict), mirroring ClockPlan.governor.
+        if isinstance(self.mem, dict):
+            object.__setattr__(self, "mem", MemorySpec.from_dict(self.mem))
         if self.issue_width < 1 or self.fetch_width < 1:
             raise ConfigError("widths must be >= 1")
         if self.phys_regs < 64 + self.rename_width:

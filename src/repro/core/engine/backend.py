@@ -132,7 +132,7 @@ class ExecBackend:
                     on_resolved(entry, c)
         rob_q = self._rob_q
         if rob_q and rob_q[0].done:
-            self.retire(self._commit_width, mem_scale, self._commit_entry)
+            self.retire(self._commit_width, mem_scale, self._commit_entry, c)
 
     def admit(self, dyn: DynInstr, entry: RobEntry) -> None:
         """Insert one dispatched instruction into ROB (+LSQ if memory).
@@ -172,7 +172,7 @@ class ExecBackend:
             op = dyn.op
             lat = lat_tab[op]
             if op is OpClass.LOAD:
-                lat += load(dyn.mem_addr, mem_scale)
+                lat += load(dyn.mem_addr, mem_scale, c)
                 events["dcache_access"] += 1
             wake = c + lat
             tag = dyn.dest_tag
@@ -193,7 +193,7 @@ class ExecBackend:
         return rf_reads
 
     def retire(self, width: int, mem_scale: float,
-               commit_entry: CommitHook) -> int:
+               commit_entry: CommitHook, now: int = 0) -> int:
         """In-order commit of up to ``width`` done entries from the head."""
         retired = self.rob.retire_ready(width)
         if not retired:
@@ -205,7 +205,7 @@ class ExecBackend:
         for entry in retired:
             dyn = entry.dyn
             if dyn.op is OpClass.STORE and dyn.mem_addr is not None:
-                hierarchy.store(dyn.mem_addr, mem_scale)
+                hierarchy.store(dyn.mem_addr, mem_scale, now)
                 events["dcache_access"] += 1
             if entry.is_mem:
                 lsq.release()

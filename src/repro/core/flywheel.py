@@ -135,7 +135,8 @@ class FlywheelCore:
         self.stats = SimStats()
         self._events = self.stats.events
 
-        self.hierarchy = hierarchy or MemoryHierarchy(config.memory)
+        self.hierarchy = hierarchy or MemoryHierarchy(config.memory,
+                                                      spec=config.mem)
         self.bpred = BranchPredictor(config.bpred)
         self.pools = PoolFile(fly.pool_regs, fly.default_pool_size,
                               fly.min_pool_size, fly.max_pool_size)
@@ -321,16 +322,17 @@ class FlywheelCore:
                 f"iw={len(self.iw)}, fifo={len(self._dispatch_fifo)})")
 
     def _functional_warmup(self, count: int) -> None:
-        fe_scale = self._fe_scale
+        # warm_* variants: contents and counters only — the MSHR
+        # timeline of a non-blocking spec stays untouched (see baseline).
         next_instr = self.stream.next_instr
-        ifetch = self.hierarchy.ifetch
-        load = self.hierarchy.load
-        store = self.hierarchy.store
+        ifetch = self.hierarchy.warm_ifetch
+        load = self.hierarchy.warm_load
+        store = self.hierarchy.warm_store
         predict = self.bpred.predict
         for _ in range(count):
             dyn = next_instr()
             if dyn.seq % 4 == 0:
-                ifetch(dyn.pc, fe_scale)
+                ifetch(dyn.pc)
             addr = dyn.mem_addr
             if addr is not None:
                 if dyn.op is OpClass.LOAD:
@@ -424,7 +426,7 @@ class FlywheelCore:
         for i in range(self.config.fetch_width):
             dyn = self._next_oracle()
             if i == 0:
-                delay = (self.hierarchy.ifetch(dyn.pc, fe_scale)
+                delay = (self.hierarchy.ifetch(dyn.pc, fe_scale, fe_c)
                          + self.config.extra_frontend_stages)
                 events["icache_access"] += 1
             if self._fe_new_trace:
@@ -1132,7 +1134,7 @@ class FlywheelCore:
             dyn = entry.dyn
             lat = EXEC_LATENCY_TAB[dyn.op]
             if dyn.op is OpClass.LOAD:
-                lat += self.hierarchy.load(dyn.mem_addr, be_scale)
+                lat += self.hierarchy.load(dyn.mem_addr, be_scale, c)
                 events["dcache_access"] += 1
             wake = c + lat
             done = wake + regread

@@ -26,6 +26,7 @@ from repro.core.config import ClockPlan, CoreConfig, FlywheelConfig
 from repro.core.pipelined import PipelinedWakeupCore
 from repro.core.registry import get_kind, register_kind
 from repro.core.stats import SimStats
+from repro.mem.spec import MemorySpec
 from repro.workloads import (
     InstructionStream,
     Program,
@@ -152,6 +153,7 @@ def _sync_runner(kind: str):
         else:
             period_ps = round(1e6 / clock.base_mhz)
             stats.sim_time_ps = stats.total_be_cycles * period_ps
+        stats.cache_stats = core.hierarchy.stats_dict()
         return SimResult(name=program.name, stats=stats, core=core,
                          clock=clock, kind=info.name,
                          l2_accesses=core.hierarchy.l2.stats.accesses)
@@ -177,6 +179,7 @@ def _flywheel_runner(workload: Union[str, WorkloadProfile, Program],
     stream = InstructionStream(program)
     core = info.core_cls(config, fly, clock, stream, mem_scale=mem_scale)
     stats = core.run(max_instructions, warmup=warmup)
+    stats.cache_stats = core.hierarchy.stats_dict()
     return SimResult(name=program.name, stats=stats, core=core, clock=clock,
                      kind=info.name,
                      l2_accesses=core.hierarchy.l2.stats.accesses)
@@ -224,22 +227,36 @@ def _pipelined_default_config() -> CoreConfig:
     return CoreConfig(wakeup_extra_delay=1)
 
 
+def _normalize_memory(config: CoreConfig) -> CoreConfig:
+    # An explicit MemorySpec that merely spells out what ``memory``
+    # already implies describes the same machine as ``mem=None``; fold
+    # it away so both spellings compare, label and content-address
+    # identically (the memory-system analogue of the clock-axis
+    # normalization in RunSpec).
+    if (config.mem is not None
+            and config.mem == MemorySpec.from_config(config.memory)):
+        return config.with_variant(mem=None)
+    return config
+
+
 def _pipelined_normalize(config: CoreConfig) -> CoreConfig:
     # The core forces the pipelined Wake-Up/Select loop; normalizing here
     # keeps spec payloads/cache keys describing the machine actually
     # simulated.
     if config.wakeup_extra_delay < 1:
-        return config.with_variant(wakeup_extra_delay=1)
-    return config
+        config = config.with_variant(wakeup_extra_delay=1)
+    return _normalize_memory(config)
 
 
-register_kind(KIND_BASELINE, BaselineCore, _sync_runner(KIND_BASELINE))
+register_kind(KIND_BASELINE, BaselineCore, _sync_runner(KIND_BASELINE),
+              normalize_config=_normalize_memory)
 register_kind(KIND_PIPELINED_WAKEUP, PipelinedWakeupCore,
               _sync_runner(KIND_PIPELINED_WAKEUP),
               default_config=_pipelined_default_config,
               normalize_config=_pipelined_normalize)
 register_kind(KIND_FLYWHEEL, _flywheel_core_cls, _flywheel_runner,
-              default_config=_flywheel_default_config, dual_clock=True)
+              default_config=_flywheel_default_config, dual_clock=True,
+              normalize_config=_normalize_memory)
 
 
 # ----------------------------------------------------- deprecated wrappers

@@ -52,6 +52,12 @@ class SimStats:
     # Wall-clock of the simulated run
     sim_time_ps: int = 0
 
+    #: Per-level memory-system counters (``"l1i"``/``"l1d"``/``"l2"``/...
+    #: -> :meth:`repro.mem.CacheStats.to_dict` dicts, plus an ``"mshr"``
+    #: aggregate when miss handling is modelled). Populated by the
+    #: runners from ``MemoryHierarchy.stats_dict()`` at the end of a run.
+    cache_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
     #: Power events: structure-access counts consumed by repro.power.
     events: Counter = field(default_factory=Counter)
 
@@ -104,6 +110,20 @@ class SimStats:
     @property
     def mispredict_rate(self) -> float:
         return self.mispredicts / self.branches if self.branches else 0.0
+
+    def cache_hit_rate(self, level: str) -> float:
+        """Demand hit rate of one memory level (0.0 when unrecorded)."""
+        counters = self.cache_stats.get(level)
+        if not counters:
+            return 0.0
+        accesses = counters.get("accesses", 0)
+        return counters.get("hits", 0) / accesses if accesses else 0.0
+
+    @property
+    def mshr_occupancy_avg(self) -> float:
+        """Average MSHR occupancy at allocation (0.0 when unmodelled)."""
+        mshr = self.cache_stats.get("mshr")
+        return float(mshr.get("occupancy_avg", 0.0)) if mshr else 0.0
 
     @property
     def ec_residency(self) -> float:

@@ -71,6 +71,8 @@ class _DvfsController:
         self._last_exec_cycles = 0
         self._last_fe_active = 0
         self._last_fe_gated = 0
+        self._last_l1d_accesses = 0
+        self._last_l1d_misses = 0
         self._needs_energy = self.governor.needs_energy
         if self._needs_energy:
             self._tech = TECH_BY_NAME[cfg.tech]
@@ -89,7 +91,12 @@ class _DvfsController:
         event/L2 deltas would include the whole warmup, inflating its
         power estimate — and ``energy_budget``'s auto-calibrated envelope
         with it. The cores call this after warmup, before the first cycle.
+        The L1D snapshot resets with it so the first interval's miss
+        rate covers timed accesses only.
         """
+        l1d = core.hierarchy.l1d.stats
+        self._last_l1d_accesses = l1d.accesses
+        self._last_l1d_misses = l1d.misses
         if self._needs_energy:
             self._last_events = dict(self.stats.events)
             self._last_l2 = core.hierarchy.l2.stats.accesses
@@ -103,6 +110,9 @@ class _DvfsController:
         fe_active_d = stats.fe_cycles_active - self._last_fe_active
         fe_gated_d = stats.fe_cycles_gated - self._last_fe_gated
         fe_total = fe_active_d + fe_gated_d
+        l1d = core.hierarchy.l1d.stats
+        l1d_acc_d = l1d.accesses - self._last_l1d_accesses
+        l1d_miss_d = l1d.misses - self._last_l1d_misses
         t = IntervalTelemetry(
             cycle=c,
             cycles=cycles,
@@ -113,6 +123,7 @@ class _DvfsController:
             iw_occ=core.iw._count / core.iw.capacity,
             rob_occ=len(core.be.rob) / core.be.rob.capacity,
             lsq_occ=len(core.be.lsq) / core.be.lsq.capacity,
+            l1d_miss_rate=(l1d_miss_d / l1d_acc_d) if l1d_acc_d else 0.0,
             replay_frac=(stats.be_cycles_execute
                          - self._last_exec_cycles) / cycles,
             gated_frac=fe_gated_d / fe_total if fe_total else 0.0,
@@ -147,6 +158,8 @@ class _DvfsController:
         self._last_exec_cycles = stats.be_cycles_execute
         self._last_fe_active = stats.fe_cycles_active
         self._last_fe_gated = stats.fe_cycles_gated
+        self._last_l1d_accesses = l1d.accesses
+        self._last_l1d_misses = l1d.misses
         return t
 
     def _next_index(self, t: IntervalTelemetry) -> int:

@@ -53,17 +53,31 @@ class StaticGovernor(Governor):
         return 0
 
 
+#: L1D miss rate above which an interval counts as memory-bound for the
+#: occupancy policy: the machine is backed up on DRAM, whose time is
+#: fixed in nanoseconds, so a faster clock only buys more stall cycles.
+#: Well above the SPEC-like profiles' steady-state rates (<~0.3), so the
+#: guard engages only on genuinely DRAM-bound phases.
+MEMBOUND_MISS_RATE = 0.5
+
+
 class OccupancyGovernor(Governor):
     """Ratio up/down control on back-end pressure.
 
     Pressure is ``max(window, ROB)`` occupancy (the window is bypassed
     during EC replay, the ROB tracks both modes): a backed-up engine is
     the bottleneck and steps up a rung, a draining one is starved and
-    gives the clock back.
+    gives the clock back. The L1D miss rate disambiguates *why* the
+    engine is backed up: a full ROB behind a DRAM-bound access stream
+    (miss rate >= :data:`MEMBOUND_MISS_RATE`) is waiting, not working —
+    stepping up would stretch every miss in cycles for no progress, so
+    the governor steps down instead.
     """
 
     def decide(self, t: IntervalTelemetry) -> int:
         if t.pressure >= self.cfg.occ_high:
+            if t.l1d_miss_rate >= MEMBOUND_MISS_RATE:
+                return -1
             return +1
         if t.pressure <= self.cfg.occ_low:
             return -1

@@ -41,6 +41,14 @@ class IntervalTelemetry:
     rob_occ: float = 0.0
     lsq_occ: float = 0.0
 
+    # --- memory behaviour (deltas over the interval) -------------------------
+    #: L1D demand miss rate of the interval's accesses (0.0 with no
+    #: accesses). A memory-bound interval is one where raising the core
+    #: clock buys nothing: DRAM time is fixed in nanoseconds, so the
+    #: faster clock just pays more stall cycles per miss — governors use
+    #: this to tell DRAM-induced back-pressure from real compute demand.
+    l1d_miss_rate: float = 0.0
+
     # --- mode mix (Flywheel; zero on synchronous cores) ---------------------
     #: Fraction of interval BE cycles spent replaying from the EC.
     replay_frac: float = 0.0

@@ -24,7 +24,7 @@ from repro.session import Session
 from repro.experiments import fig01_latency, fig02_loops, fig11_same_clock
 from repro.experiments import fig12_performance, fig13_energy, fig14_power
 from repro.experiments import fig15_technology, residency, table1_freq
-from repro.experiments import ablations, dvfs_sweep, sensitivity
+from repro.experiments import ablations, dvfs_sweep, mem_sweep, sensitivity
 from repro.experiments.common import (
     DEFAULT_INSTRUCTIONS,
     DEFAULT_WARMUP,
@@ -45,12 +45,13 @@ EXPERIMENTS = {
     "ablations": ablations,
     "sensitivity": sensitivity,
     "dvfs": dvfs_sweep,
+    "mem": mem_sweep,
 }
 
 #: Presentation order for ``all``.
 ALL_ORDER = ("fig1", "table1", "fig2", "fig11", "residency", "fig12",
              "fig13", "fig14", "fig15", "ablations", "sensitivity",
-             "dvfs")
+             "dvfs", "mem")
 
 
 def parse_benchmarks(arg: str) -> tuple:

@@ -36,11 +36,21 @@ class MemRef:
     accesses use ``stride`` bytes per dynamic instance; ``random`` accesses
     draw uniformly from the region, which defeats spatial locality and is
     how large-working-set benchmarks produce cache misses.
+
+    ``stream`` accesses advance a cursor *shared per region* instead of
+    the per-static-instruction one: every load/store in the program
+    marches the same front through the region, the way a copy/scan
+    kernel walks its buffers. The shared front leaves the caches behind
+    at a rate set by ``stride``, producing the sustained, sequential
+    (prefetchable, MSHR-overlappable) miss traffic that the
+    memory-system experiments need — per-sid cursors instead re-walk
+    the same first few KB and stay L1-resident.
     """
 
     region: int
     stride: int = 8
     random: bool = False
+    stream: bool = False
 
 
 @dataclass(frozen=True)

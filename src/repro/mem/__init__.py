@@ -1,6 +1,23 @@
-"""Memory hierarchy substrate: set-associative caches and L1/L2/DRAM stack."""
+"""Memory-system substrate: declarative specs, set-associative caches,
+and the composable L1/L2/DRAM hierarchy with MSHRs and prefetch."""
 
 from repro.mem.cache import Cache, CacheStats
-from repro.mem.hierarchy import MemoryHierarchy, MemoryConfig
+from repro.mem.hierarchy import CacheLevel, MemoryConfig, MemoryHierarchy
+from repro.mem.spec import (
+    PREFETCHERS,
+    WRITE_POLICIES,
+    CacheLevelSpec,
+    MemorySpec,
+)
 
-__all__ = ["Cache", "CacheStats", "MemoryHierarchy", "MemoryConfig"]
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "CacheLevel",
+    "CacheLevelSpec",
+    "MemoryConfig",
+    "MemoryHierarchy",
+    "MemorySpec",
+    "PREFETCHERS",
+    "WRITE_POLICIES",
+]

@@ -15,20 +15,40 @@ from repro.errors import ConfigError
 
 @dataclass
 class CacheStats:
-    """Access counters, also consumed by the power model."""
+    """Access counters, also consumed by the power model.
+
+    ``prefetches`` counts lines installed by a prefetcher (they bypass
+    the demand ``accesses``/``hits``/``misses`` counters); ``writebacks``
+    counts dirty-victim spills under the write-back policy.
+    """
 
     accesses: int = 0
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     writes: int = 0
+    prefetches: int = 0
+    writebacks: int = 0
 
     @property
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
 
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "accesses": self.accesses, "hits": self.hits,
+            "misses": self.misses, "evictions": self.evictions,
+            "writes": self.writes, "prefetches": self.prefetches,
+            "writebacks": self.writebacks,
+        }
+
     def reset(self) -> None:
-        self.accesses = self.hits = self.misses = self.evictions = self.writes = 0
+        self.accesses = self.hits = self.misses = self.evictions = 0
+        self.writes = self.prefetches = self.writebacks = 0
 
 
 def _is_pow2(n: int) -> bool:
@@ -87,6 +107,62 @@ class Cache:
             self.stats.evictions += 1
         cset[tag] = self._clock
         return False
+
+    def access_ex(self, addr: int, write: bool = False):
+        """Like :meth:`access`, but also reports the evicted victim.
+
+        Returns ``(hit, victim_line)`` where ``victim_line`` is the
+        global line id (``addr >> line_shift``) of the line evicted to
+        make room, or ``None``. Used by the general hierarchy path,
+        whose write-back policy must know which line left the cache;
+        the legacy fast path keeps the cheaper :meth:`access`.
+        """
+        self._clock += 1
+        self.stats.accesses += 1
+        if write:
+            self.stats.writes += 1
+        line = addr >> self._line_shift
+        set_idx = line & self._set_mask
+        tag = line >> self._tag_shift
+        cset = self._sets[set_idx]
+        if tag in cset:
+            cset[tag] = self._clock
+            self.stats.hits += 1
+            return True, None
+        self.stats.misses += 1
+        victim = None
+        if len(cset) >= self.ways:
+            vtag = min(cset, key=cset.get)
+            del cset[vtag]
+            self.stats.evictions += 1
+            victim = (vtag << self._tag_shift) | set_idx
+        cset[tag] = self._clock
+        return False, victim
+
+    def install(self, addr: int):
+        """Allocate a line without counting a demand access.
+
+        Touches LRU state if already resident. Returns the evicted
+        victim's global line id, or ``None``. Fills from prefetchers
+        and write-back spills go through here so demand hit/miss
+        counters stay meaningful.
+        """
+        line = addr >> self._line_shift
+        set_idx = line & self._set_mask
+        tag = line >> self._tag_shift
+        cset = self._sets[set_idx]
+        self._clock += 1
+        if tag in cset:
+            cset[tag] = self._clock
+            return None
+        victim = None
+        if len(cset) >= self.ways:
+            vtag = min(cset, key=cset.get)
+            del cset[vtag]
+            self.stats.evictions += 1
+            victim = (vtag << self._tag_shift) | set_idx
+        cset[tag] = self._clock
+        return victim
 
     def probe(self, addr: int) -> bool:
         """Check residency without updating LRU state or counters."""

@@ -325,7 +325,16 @@ class ProgramGenerator:
             srcs = self._pick_srcs(2, fp=fp, last_dest=last_dest)
         elif op is OpClass.LOAD:
             dest = self._pick_dest(fp)
-            srcs = (rng.choice(_FP_INVARIANT if fp else _INT_INVARIANT),)
+            # Pointer chasing: the address register is the previous
+            # instruction's result, so this load cannot issue until its
+            # producer (often itself a load) completes. The knob guard
+            # short-circuits so profiles with dep_load_frac == 0 draw
+            # the exact historical RNG stream.
+            if (p.dep_load_frac and last_dest is not None
+                    and rng.random() < p.dep_load_frac):
+                srcs = (last_dest,)
+            else:
+                srcs = (rng.choice(_FP_INVARIANT if fp else _INT_INVARIANT),)
         else:
             dest = self._pick_dest(fp)
             srcs = self._pick_srcs(2, fp=fp, last_dest=last_dest)
@@ -375,8 +384,9 @@ class ProgramGenerator:
         else:
             region = _COLD_REGION
         return MemRef(
-            region=region, stride=8,
+            region=region, stride=p.mem_stride,
             random=rng.random() < p.random_access_frac,
+            stream=p.stream_mem,
         )
 
     # --------------------------------------------------------------- ids

@@ -52,6 +52,12 @@ class WorkloadProfile:
     acc_frac: float = 0.0           # loop-carried accumulator updates (study knob)
     hot_dest_bias: float = 0.15     # dest drawn from small hot set
     hot_dest_count: int = 3         # size of the hot destination set
+    #: Fraction of loads whose address register is the previous
+    #: instruction's destination — pointer chasing: each such load
+    #: cannot issue until its predecessor completes, so its miss
+    #: latency serializes regardless of MSHR budget. 0.0 keeps the
+    #: historical generator RNG stream untouched.
+    dep_load_frac: float = 0.0
 
     # --- branch behaviour ---------------------------------------------------
     random_branch_frac: float = 0.25  # fraction of diamonds that are 50/50
@@ -64,12 +70,17 @@ class WorkloadProfile:
     hot_frac: float = 0.80            # fraction of accesses to hot region
     warm_frac: float = 0.15           # ... to warm region (rest go cold)
     random_access_frac: float = 0.20  # random (vs strided) within region
+    mem_stride: int = 8               # bytes per sequential access
+    #: Strided accesses share one cursor per region (a copy/scan kernel
+    #: marching its buffers) instead of one per static instruction —
+    #: sustained sequential miss traffic for the memory experiments.
+    stream_mem: bool = False
 
     def __post_init__(self) -> None:
         fracs = (
             self.fp_frac, self.load_frac, self.store_frac, self.mul_frac,
             self.div_frac, self.serial_frac, self.hot_dest_bias,
-            self.acc_frac,
+            self.acc_frac, self.dep_load_frac,
             self.random_branch_frac, self.hot_frac, self.warm_frac,
             self.random_access_frac,
         )
@@ -185,6 +196,32 @@ PROFILES: Dict[str, WorkloadProfile] = {
         store_frac=0.13, mul_frac=0.08,
     ),
 }
+
+#: Memory-bound profiles for the memory-system experiments (not part of
+#: the paper's SPEC set, so they stay out of SPEC_NAMES and the figure
+#: sweeps). ``pointer_chase`` is latency-bound: mostly-random loads over
+#: a DRAM-sized region with a heavy dependent-load chain, so each miss
+#: serializes behind its predecessor and MSHR overlap buys little —
+#: what helps is the raw miss path. ``stream_copy`` is bandwidth-bound:
+#: strided, independent loads/stores marching through a cold region, so
+#: misses are plentiful *and* parallel — non-blocking MSHRs and the
+#: next-line/stride prefetchers pay off directly.
+PROFILES["pointer_chase"] = _p(
+    name="pointer_chase", num_funcs=4, blocks_per_func=(2, 4),
+    instrs_per_block=(6, 10), inner_loop_prob=0.7, diamond_prob=0.3,
+    loop_trip=(16, 64), load_frac=0.45, store_frac=0.05,
+    serial_frac=0.55, dep_load_frac=0.8, hot_dest_bias=0.05,
+    random_branch_frac=0.10, hot_frac=0.06, warm_frac=0.14,
+    cold_region_kb=65536, random_access_frac=0.9,
+)
+PROFILES["stream_copy"] = _p(
+    name="stream_copy", num_funcs=3, blocks_per_func=(2, 3),
+    instrs_per_block=(8, 14), inner_loop_prob=0.9, diamond_prob=0.1,
+    loop_trip=(32, 160), load_frac=0.38, store_frac=0.27,
+    serial_frac=0.15, hot_dest_bias=0.04, random_branch_frac=0.05,
+    hot_frac=0.02, warm_frac=0.03, cold_region_kb=131072,
+    random_access_frac=0.0, stream_mem=True,
+)
 
 #: A tiny, fast profile for unit tests and smoke runs.
 PROFILES["smoke"] = _p(

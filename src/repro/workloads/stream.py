@@ -158,6 +158,14 @@ class InstructionStream:
         if mem.random:
             slots = max(1, region.size // mem.stride)
             return region.base + self._rng.randrange(slots) * mem.stride
+        if mem.stream:
+            # One cursor per region (keyed negatively so it can never
+            # collide with a static sid): all streaming accesses advance
+            # the same front, like a copy kernel marching its buffers.
+            key = -1 - mem.region
+            cursor = self._mem_cursors.get(key, 0)
+            self._mem_cursors[key] = cursor + 1
+            return region.base + (cursor * mem.stride) % region.size
         cursor = self._mem_cursors.get(static.sid, 0)
         self._mem_cursors[static.sid] = cursor + 1
         return region.base + (cursor * mem.stride) % region.size

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigError
-from repro.mem import Cache, MemoryConfig, MemoryHierarchy
+from repro.mem import Cache, MemoryConfig, MemoryHierarchy, MemorySpec
 
 
 class TestCacheGeometry:
@@ -68,6 +68,82 @@ class TestCacheBehaviour:
         assert cache.stats.hits == 1
         assert cache.stats.miss_rate == pytest.approx(0.5)
 
+    def test_lru_eviction_order_over_many_fills(self):
+        # 4-way, 1 set: fill A,B,C,D then stream E,F,G,H — victims must
+        # leave in exact insertion (LRU) order A,B,C,D.
+        cache = Cache("c", 128, 4, line_bytes=32)   # 1 set, 4 ways
+        fills = [0x0, 0x1000, 0x2000, 0x3000]
+        for a in fills:
+            cache.access(a)
+        for i, newcomer in enumerate((0x4000, 0x5000, 0x6000, 0x7000)):
+            cache.access(newcomer)
+            # The i-th original line (and only that one) is gone.
+            assert not cache.probe(fills[i])
+            for survivor in fills[i + 1:]:
+                assert cache.probe(survivor)
+
+    def test_set_aliasing(self):
+        # Two addresses a set-span apart map to the same set with
+        # different tags; a third address in another set is untouched.
+        cache = Cache("c", 2048, 2, line_bytes=32)  # 32 sets
+        span = cache.num_sets * cache.line_bytes
+        assert not cache.access(0x40)
+        assert not cache.access(0x40 + span)        # same set, new tag
+        assert not cache.access(0x40 + 2 * span)    # evicts the LRU alias
+        assert cache.stats.evictions == 1
+        assert not cache.probe(0x40)                # the LRU alias left
+        assert cache.probe(0x40 + span)
+        assert cache.probe(0x40 + 2 * span)
+
+    def test_flush_preserves_stats_and_resets_contents(self):
+        cache = Cache("c", 1024, 2)
+        cache.access(0x40)
+        cache.access(0x40)
+        cache.flush()
+        assert cache.stats.accesses == 2 and cache.stats.hits == 1
+        assert not cache.access(0x40)               # compulsory again
+
+    def test_install_does_not_count_demand_accesses(self):
+        cache = Cache("c", 1024, 2)
+        assert cache.install(0x40) is None
+        assert cache.stats.accesses == 0
+        assert cache.probe(0x40)
+        assert cache.access(0x40)                   # demand hit now
+
+    def test_install_reports_victim_line(self):
+        cache = Cache("c", 64, 2, line_bytes=32)    # 1 set, 2 ways
+        cache.install(0x0)
+        cache.install(0x1000)
+        victim = cache.install(0x2000)
+        assert victim == 0x0 >> 5                   # line id of the LRU
+        assert cache.stats.evictions == 1
+
+    def test_access_ex_matches_access_semantics(self):
+        a, b = Cache("a", 1024, 2), Cache("b", 1024, 2)
+        stream = [0x40, 0x40, 0x2040, 0x4040, 0x6040, 0x40]
+        for addr in stream:
+            hit_a = a.access(addr)
+            hit_b, _victim = b.access_ex(addr)
+            assert hit_a == hit_b
+        assert a.stats == b.stats
+
+
+@settings(max_examples=40, deadline=None)
+@given(bases=st.lists(st.integers(min_value=0, max_value=1 << 18),
+                      min_size=1, max_size=120),
+       offsets=st.lists(st.integers(min_value=0, max_value=31),
+                        min_size=1, max_size=120))
+def test_hit_miss_counts_invariant_under_line_offsets(bases, offsets):
+    """Shifting each access within its 32B line never changes hit/miss
+    behaviour: the cache is line-granular by construction."""
+    aligned = Cache("a", 2048, 2, line_bytes=32)
+    shifted = Cache("s", 2048, 2, line_bytes=32)
+    for i, base in enumerate(bases):
+        line_addr = (base >> 5) << 5
+        aligned.access(line_addr)
+        shifted.access(line_addr + offsets[i % len(offsets)])
+    assert aligned.stats == shifted.stats
+
 
 @settings(max_examples=30, deadline=None)
 @given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 20),
@@ -130,3 +206,234 @@ class TestHierarchy:
         h = MemoryHierarchy(MemoryConfig())
         h.store(0x40)
         assert h.load(0x40) == h.config.l1_latency
+
+
+def _legacy_spec(**overrides) -> MemorySpec:
+    from dataclasses import replace
+
+    return replace(MemorySpec.from_config(MemoryConfig()), **overrides)
+
+
+class TestGeneralPathParity:
+    """The general chain walk with a legacy-equivalent spec must behave
+    exactly like the fast path (latencies and per-level counters)."""
+
+    def _streams(self):
+        import random
+
+        rng = random.Random(7)
+        return [rng.randrange(1 << 24) for _ in range(4000)]
+
+    def test_load_latencies_and_stats_match_fast_path(self):
+        fast = MemoryHierarchy(MemoryConfig())
+        general = MemoryHierarchy(MemoryConfig(), force_general=True)
+        assert fast.ifetch.__func__ is fast._ifetch_fast.__func__
+        assert general.load.__func__ is general._load_general.__func__
+        for addr in self._streams():
+            assert fast.load(addr, 1.5) == general.load(addr, 1.5)
+            assert fast.ifetch(addr ^ 0x40) == general.ifetch(addr ^ 0x40)
+        for (n1, c1), (n2, c2) in zip(fast.named_caches(),
+                                      general.named_caches()):
+            assert n1 == n2 and c1.stats == c2.stats
+
+    def test_store_latencies_match_fast_path(self):
+        fast = MemoryHierarchy(MemoryConfig())
+        general = MemoryHierarchy(MemoryConfig(), force_general=True)
+        for addr in self._streams():
+            assert fast.store(addr) == general.store(addr)
+        assert fast.l1d.stats == general.l1d.stats
+        assert fast.l2.stats == general.l2.stats
+
+    def test_custom_l1i_latency_stays_fast_and_correct(self):
+        # A simple spec with its own L1I latency still takes the fast
+        # path, and the I-side latency matches the general walk.
+        spec = _legacy_spec()
+        spec = type(spec)(l1i=type(spec.l1i)(64, 2, 4),
+                          levels=spec.levels)
+        fast = MemoryHierarchy(spec=spec)
+        general = MemoryHierarchy(spec=spec, force_general=True)
+        assert fast.ifetch.__func__ is fast._ifetch_fast.__func__
+        for addr in self._streams():
+            assert fast.ifetch(addr) == general.ifetch(addr)
+        fast.ifetch(0x4000_0040)            # install the line...
+        assert fast.ifetch(0x4000_0040) == 4   # ...hit pays the I latency
+
+
+class TestStoreAllocation:
+    """The PR's satellite fix: a store that misses L1 but hits L2 must
+    install the line in L1 under every write policy."""
+
+    @pytest.mark.parametrize("spec", [
+        _legacy_spec(),                               # legacy-equivalent
+        _legacy_spec(write_policy="back"),            # write-back
+    ], ids=["allocate", "write-back"])
+    def test_store_miss_l1_hit_l2_installs_in_l1(self, spec):
+        h = MemoryHierarchy(spec=spec, force_general=True)
+        h.l2.install(0x40)                  # resident only in L2
+        assert not h.l1d.probe(0x40)
+        h.store(0x40)
+        assert h.l1d.probe(0x40)            # explicitly allocated
+        assert h.load(0x40) == h.spec.levels[0].latency
+
+    def test_fast_path_store_also_allocates(self):
+        h = MemoryHierarchy(MemoryConfig())
+        h.l2.install(0x40)
+        h.store(0x40)
+        assert h.l1d.probe(0x40)
+
+
+class TestWriteBack:
+    def test_dirty_eviction_counts_writeback(self):
+        # One-set L1D (2 ways): dirty a line, then evict it with two
+        # newcomers — the spill must count a writeback at L1D.
+        spec = MemorySpec(
+            l1i=_legacy_spec().l1i,
+            levels=(type(_legacy_spec().levels[0])(1, 2, 2),  # 1KB, 2-way
+                    _legacy_spec().levels[1]),
+            write_policy="back")
+        h = MemoryHierarchy(spec=spec)
+        h.store(0x0)
+        span = h.l1d.num_sets * 32
+        h.load(0x0 + span)
+        h.load(0x0 + 2 * span)              # evicts the dirty line
+        assert h.l1d.stats.writebacks == 1
+
+    def test_clean_eviction_writes_nothing_back(self):
+        spec = _legacy_spec(write_policy="back")
+        h = MemoryHierarchy(spec=spec)
+        for i in range(64):
+            h.load(i * 64 * 1024)           # loads only: nothing dirty
+        assert h.l1d.stats.writebacks == 0
+
+    def test_spilled_victim_stays_dirty_at_the_next_level(self):
+        # A dirty L1D victim spilled into a one-set L2 must write back
+        # *again* when the L2 evicts it — dirtiness follows the line
+        # down the chain, it is not laundered by the spill.
+        from repro.mem import CacheLevelSpec
+
+        spec = MemorySpec(
+            levels=(CacheLevelSpec(1, 2, 2),     # 1KB 2-way L1D, 16 sets
+                    CacheLevelSpec(1, 2, 10)),   # 1KB 2-way L2, 16 sets
+            write_policy="back")
+        h = MemoryHierarchy(spec=spec)
+        h.store(0x0)                             # dirty in L1D
+        span = h.l1d.num_sets * 32               # same-set alias stride
+        h.load(span)
+        # This load spills dirty 0x0 into the (equally tiny) L2, whose
+        # own eviction of it in the same walk must write back again.
+        h.load(2 * span)
+        assert h.l1d.stats.writebacks == 1
+        assert h.l2.stats.writebacks == 1
+
+
+class TestMshrTiming:
+    def _hier(self, mshrs):
+        return MemoryHierarchy(spec=_legacy_spec(mshrs=mshrs))
+
+    def test_blocking_serializes_independent_misses(self):
+        h = self._hier(1)
+        first = h.load(0x100_0000, 1.0, now=0)       # full DRAM miss
+        second = h.load(0x200_0000, 1.0, now=0)      # must wait behind it
+        assert second > first
+        assert h.stats_dict()["mshr"]["stall_cycles"] > 0
+
+    def test_nonblocking_overlaps_independent_misses(self):
+        h = self._hier(4)
+        lats = [h.load(0x100_0000 + i * (1 << 20), 1.0, now=0)
+                for i in range(4)]
+        assert len(set(lats)) == 1          # all four fills in flight
+        assert h.stats_dict()["mshr"]["peak"] == 4
+
+    def test_miss_to_inflight_line_merges(self):
+        h = self._hier(4)
+        full = h.load(0x100_0000, 1.0, now=0)
+        # Same 32B line, 10 cycles later: only the remaining fill time.
+        merged = h.load(0x100_0010, 1.0, now=10)
+        assert merged == full - 10
+        assert h.stats_dict()["mshr"]["merges"] == 1
+
+    def test_full_file_keeps_inflight_entries_mergeable(self):
+        # A request queued behind a full file must NOT evict the
+        # in-flight entry: a later access to that line still merges
+        # (pays remaining fill time) instead of pretending the data
+        # arrived.
+        h = self._hier(1)
+        first = h.load(0x100_0000, 1.0, now=0)   # fill lands at `first`-2+2
+        h.load(0x200_0000, 1.0, now=5)           # queued behind it
+        again = h.load(0x100_0010, 1.0, now=20)  # same line as the first
+        assert again == first - 20               # merged, not an L1 hit
+        assert h.stats_dict()["mshr"]["merges"] == 1
+
+    def test_queued_requests_stack_completion_waits(self):
+        # With one MSHR, the k-th queued miss waits for k completions.
+        h = self._hier(1)
+        first = h.load(0x100_0000, 1.0, now=0)
+        second = h.load(0x200_0000, 1.0, now=0)
+        third = h.load(0x300_0000, 1.0, now=0)
+        assert second > first
+        assert third > second
+
+    def test_mshrs_free_after_fill_completes(self):
+        h = self._hier(1)
+        first = h.load(0x100_0000, 1.0, now=0)
+        late = h.load(0x200_0000, 1.0, now=first + 1)
+        assert late == first                # no contention left
+        assert h.stats_dict()["mshr"]["stall_cycles"] == 0
+
+    def test_warmup_never_touches_the_mshr_timeline(self):
+        h = self._hier(1)
+        for i in range(64):
+            h.warm_load(0x100_0000 + i * (1 << 20))
+        assert not h._mshr_table
+        assert h.stats_dict()["mshr"]["allocs"] == 0
+        # ...but contents did warm:
+        assert h.l1d.stats.accesses == 64
+
+
+class TestPrefetch:
+    def test_next_line_installs_successor(self):
+        h = MemoryHierarchy(spec=_legacy_spec(prefetch="next_line"))
+        h.load(0x100_0000)                  # miss trains the prefetcher
+        assert h.l1d.probe(0x100_0020)      # next 32B line present
+        assert h.l1d.stats.prefetches >= 1
+        assert h.load(0x100_0020) == h.spec.levels[0].latency
+
+    def test_stride_detector_needs_two_matching_strides(self):
+        h = MemoryHierarchy(spec=_legacy_spec(prefetch="stride"))
+        line = 1 << 5
+        h.load(0x100_0000)
+        h.load(0x100_0000 + 4 * line)       # stride observed once
+        assert not h.l1d.probe(0x100_0000 + 8 * line)
+        h.load(0x100_0000 + 8 * line)       # stride confirmed
+        assert h.l1d.probe(0x100_0000 + 12 * line)
+
+    def test_l1_hits_do_not_train(self):
+        h = MemoryHierarchy(spec=_legacy_spec(prefetch="next_line"))
+        h.load(0x100_0000)
+        before = h.l1d.stats.prefetches
+        h.load(0x100_0000)                  # hit: no training
+        assert h.l1d.stats.prefetches == before
+
+
+class TestDeepAndShallowChains:
+    def test_three_level_chain_latencies_accumulate(self):
+        from repro.mem import CacheLevelSpec
+
+        spec = MemorySpec(levels=(CacheLevelSpec(64, 4, 2),
+                                  CacheLevelSpec(512, 4, 10),
+                                  CacheLevelSpec(2048, 8, 24)))
+        h = MemoryHierarchy(spec=spec)
+        cold = h.load(0x100_0000)
+        assert cold == 2 + 10 + 24 + spec.dram_latency
+        h.l1d.flush()
+        h.l2.flush()
+        assert h.load(0x100_0000) == 2 + 10 + 24    # L3 hit
+        assert h.named_caches()[-1][0] == "l3"
+
+    def test_single_level_chain_exposes_empty_l2_tap(self):
+        from repro.mem import CacheLevelSpec
+
+        spec = MemorySpec(levels=(CacheLevelSpec(64, 4, 2),))
+        h = MemoryHierarchy(spec=spec)
+        assert h.load(0x100_0000) == 2 + spec.dram_latency
+        assert h.l2.stats.accesses == 0     # power tap reads zero
