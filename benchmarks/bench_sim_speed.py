@@ -189,6 +189,12 @@ def main(argv=None) -> int:
                         help="exit non-zero if any series is more than "
                              "PCT percent slower than --against "
                              "(default: report-only)")
+    parser.add_argument("--profile", nargs="?", const="BENCH_profile.json",
+                        default=None, metavar="PATH",
+                        help="additionally self-profile each kind on the "
+                             "first benchmark (wall time per engine phase) "
+                             "and write the reports to PATH "
+                             "(default: ./BENCH_profile.json)")
     args = parser.parse_args(argv)
     if args.fail_on_regression is not None and not args.against:
         parser.error("--fail-on-regression requires --against")
@@ -213,6 +219,21 @@ def main(argv=None) -> int:
         print(f"{name:28s} {row['cycles_per_sec']:>9,} cycles/s "
               f"{row['instrs_per_sec']:>9,} instrs/s")
     print(f"wrote {args.out}")
+
+    if args.profile is not None:
+        from repro.obs.profiler import format_profile, profile_machine
+
+        profiles = {}
+        for kind in kind_names():
+            prof = profile_machine(kind, BENCH_BENCHMARKS[0],
+                                   instructions=BENCH_INSTRUCTIONS,
+                                   warmup=BENCH_WARMUP)
+            profiles[kind] = prof
+            print(format_profile(prof))
+        with open(args.profile, "w", encoding="utf-8") as fh:
+            json.dump(profiles, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.profile}")
 
     if committed is not None:
         rows = compare(report, committed)

@@ -67,11 +67,13 @@ from repro.dvfs import GovernorConfig
 from repro.errors import (
     CampaignError,
     ConfigError,
+    DeadlockError,
     ReproError,
     SimulationError,
     WorkloadError,
 )
 from repro.mem import CacheLevelSpec, MemorySpec
+from repro.obs import MetricRegistry, TraceRecorder, TraceSpec
 from repro.power import energy_report
 from repro.session import MachineSpec, Session, SessionEvent, default_session
 from repro.workloads import (
@@ -107,6 +109,10 @@ __all__ = [
     "MemorySpec",
     "SimResult",
     "SimStats",
+    # Observability (repro.obs): flight recorder + metrics.
+    "TraceSpec",
+    "TraceRecorder",
+    "MetricRegistry",
     # Deprecated one-shot wrappers (use Session/MachineSpec).
     "run_baseline",
     "run_flywheel",
@@ -127,6 +133,7 @@ __all__ = [
     "ReproError",
     "CampaignError",
     "ConfigError",
+    "DeadlockError",
     "WorkloadError",
     "SimulationError",
     "__version__",

@@ -146,6 +146,7 @@ def _ls_summary(record) -> dict:
         "ipc": stats.ipc,
         "sim_time_ps": stats.sim_time_ps,
         "dvfs_retunes": stats.dvfs_retunes,
+        "elapsed_s": record.get("elapsed_s"),
     }
 
 
@@ -158,10 +159,13 @@ def _ls_line(summary: dict) -> str:
     gov = summary["governor"]
     mem = summary.get("mem")
     variant = summary["variant"]
+    elapsed = summary.get("elapsed_s")
     return (f"{summary['key'][:12]}  {created}  "
             f"code={summary['code']}  n={summary['instructions']}  "
             f"ipc={summary['ipc']:5.2f}  "
-            f"{summary['kind']}/{summary['bench']}"
+            + (f"elapsed={elapsed:6.2f}s  " if elapsed is not None
+               else f"elapsed={'':>7}  ")
+            + f"{summary['kind']}/{summary['bench']}"
             + (f"  gov={gov}" if gov else "")
             + (f"  mem={mem}" if mem else "")
             + (f"  [{variant}]" if variant else ""))
@@ -224,7 +228,7 @@ def _cmd_export(args) -> int:
               + ["variant", "mem"] + list(_EXPORT_CLOCK)
               + list(_EXPORT_STATS) + ["ipc", "l2_accesses"]
               + [f"{lvl}_hit_rate" for lvl in _EXPORT_CACHE_LEVELS]
-              + ["mshr_occ_avg", "mshr_stall_cycles"])
+              + ["mshr_occ_avg", "mshr_stall_cycles", "elapsed_s"])
     out = (open(args.csv, "w", newline="", encoding="utf-8")
            if args.csv != "-" else sys.stdout)
     try:
@@ -250,7 +254,8 @@ def _cmd_export(args) -> int:
                         for lvl in _EXPORT_CACHE_LEVELS]
                 mshr = (stats.get("cache_stats") or {}).get("mshr") or {}
                 row += [mshr.get("occupancy_avg", ""),
-                        mshr.get("stall_cycles", "")]
+                        mshr.get("stall_cycles", ""),
+                        record.get("elapsed_s", "")]
             except (KeyError, TypeError, ValueError, AttributeError):
                 continue        # damaged record: skip, don't abort the CSV
             writer.writerow(row)

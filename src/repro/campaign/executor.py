@@ -60,10 +60,13 @@ class CampaignReport:
                 f"in {self.elapsed_s:.1f}s")
 
 
-def _execute_detached(spec: RunSpec) -> Tuple[str, Dict[str, object]]:
-    """Worker entry point: run one spec, return (key, serialized result)."""
+def _execute_detached(
+        spec: RunSpec) -> Tuple[str, Dict[str, object], float]:
+    """Worker entry point: run one spec, return (key, result, wall time)."""
+    t0 = time.perf_counter()
     result = spec.execute()
-    return spec.cache_key(), result.to_dict()
+    elapsed_s = time.perf_counter() - t0
+    return spec.cache_key(), result.to_dict(), elapsed_s
 
 
 def print_progress(done: int, total: int, spec: RunSpec, source: str) -> None:
@@ -132,9 +135,10 @@ def run_campaign(specs: Iterable[RunSpec],
 
 def _finish(spec: RunSpec, key: str, result: SimResult,
             report: CampaignReport, store: Optional[ResultStore],
-            note: Callable[[RunSpec, str], None]) -> None:
+            note: Callable[[RunSpec, str], None],
+            elapsed_s: Optional[float] = None) -> None:
     if store is not None:
-        store.put(key, spec, result)
+        store.put(key, spec, result, elapsed_s=elapsed_s)
     report.results[key] = result
     report.executed += 1
     note(spec, "run")
@@ -144,8 +148,9 @@ def _run_serial(misses: List[RunSpec], report: CampaignReport,
                 store: Optional[ResultStore],
                 note: Callable[[RunSpec, str], None]) -> None:
     for spec in misses:
-        key, payload = _execute_detached(spec)
-        _finish(spec, key, SimResult.from_dict(payload), report, store, note)
+        key, payload, elapsed_s = _execute_detached(spec)
+        _finish(spec, key, SimResult.from_dict(payload), report, store, note,
+                elapsed_s=elapsed_s)
 
 
 def _run_parallel(misses: List[RunSpec], report: CampaignReport, jobs: int,
@@ -158,7 +163,7 @@ def _run_parallel(misses: List[RunSpec], report: CampaignReport, jobs: int,
                    for spec in misses]
         for idx, (spec, handle) in enumerate(pending):
             try:
-                key, payload = handle.get(timeout_s)
+                key, payload, elapsed_s = handle.get(timeout_s)
             except multiprocessing.TimeoutError:
                 _salvage(pending[idx + 1:], report, store, note)
                 pool.terminate()
@@ -171,7 +176,7 @@ def _run_parallel(misses: List[RunSpec], report: CampaignReport, jobs: int,
                 raise CampaignError(
                     f"campaign job failed: {spec.label}: {exc}") from exc
             _finish(spec, key, SimResult.from_dict(payload), report, store,
-                    note)
+                    note, elapsed_s=elapsed_s)
 
 
 def _salvage(remaining, report: CampaignReport, store: Optional[ResultStore],
@@ -182,7 +187,8 @@ def _salvage(remaining, report: CampaignReport, store: Optional[ResultStore],
         if not handle.ready():
             continue
         try:
-            key, payload = handle.get(0)
+            key, payload, elapsed_s = handle.get(0)
         except Exception:
             continue
-        _finish(spec, key, SimResult.from_dict(payload), report, store, note)
+        _finish(spec, key, SimResult.from_dict(payload), report, store, note,
+                elapsed_s=elapsed_s)

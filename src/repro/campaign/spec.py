@@ -67,7 +67,7 @@ def _kind_info(kind: str) -> KindInfo:
 #: stored stats at read time, so editing them must NOT invalidate the
 #: store.
 SIM_PACKAGES = ("core", "clocks", "dvfs", "ec", "execute", "frontend",
-                "isa", "issue", "mem", "rename", "rob", "workloads")
+                "isa", "issue", "mem", "obs", "rename", "rob", "workloads")
 
 
 @lru_cache(maxsize=1)
@@ -152,6 +152,10 @@ class RunSpec:
             # way pre-MemorySpec payloads did, keeping every historical
             # content address — and the PR 4 pinned hashes — intact.
             del config["mem"]
+        if config.get("trace") is None:
+            # Same contract for the flight recorder: an untraced run's
+            # payload is byte-identical to pre-TraceSpec payloads.
+            del config["trace"]
         return {
             "kind": self.kind,
             "bench": self.bench,
@@ -182,8 +186,8 @@ class RunSpec:
         out: Dict[str, object] = {}
         base = asdict(default_config(self.kind))
         for name, value in asdict(self.config).items():
-            if name == "mem":
-                continue  # rendered compactly by ``label`` (mem=...)
+            if name in ("mem", "trace"):
+                continue  # rendered compactly by ``label`` (mem=/trace=)
             if value != base[name]:
                 out[name] = value
         if self.fly is not None:
@@ -207,6 +211,8 @@ class RunSpec:
             bits.append(f"gov={gov.name}@{gov.interval}")
         if self.config.mem is not None:
             bits.append(f"mem={self.config.mem.label}")
+        if self.config.trace is not None:
+            bits.append(self.config.trace.label)
         if self.seed is not None:
             bits.append(f"seed={self.seed}")
         if self.mem_scale != 1.0:

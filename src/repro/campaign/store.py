@@ -93,8 +93,14 @@ class ResultStore:
 
     # ------------------------------------------------------------- write
 
-    def put(self, key: str, spec: RunSpec, result: SimResult) -> None:
-        """Persist one finished run atomically."""
+    def put(self, key: str, spec: RunSpec, result: SimResult,
+            elapsed_s: Optional[float] = None) -> None:
+        """Persist one finished run atomically.
+
+        ``elapsed_s`` is the executor's wall time for the simulation
+        (None for records written by paths that did not time the run);
+        ``ls``/``export`` surface it for spotting slow configurations.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         record = {
@@ -105,6 +111,8 @@ class ResultStore:
             "spec": spec.to_dict(),
             "result": result.to_dict(),
         }
+        if elapsed_s is not None:
+            record["elapsed_s"] = round(elapsed_s, 6)
         blob = json.dumps(record, sort_keys=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:

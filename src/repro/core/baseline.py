@@ -33,6 +33,8 @@ from repro.frontend.bpred import BranchPredictor
 from repro.isa import DynInstr, OpClass
 from repro.issue.window import IssueWindow
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.obs.metrics import MetricRegistry, register_core_sources
+from repro.obs.trace import TraceRecorder
 from repro.rename.r10k import R10KRenamer
 from repro.rob.reorder_buffer import RobEntry
 from repro.workloads.stream import InstructionStream
@@ -67,6 +69,18 @@ class BaselineCore:
                               config.phys_regs)
         self.watchdog = DeadlockWatchdog(
             config.deadlock_window or _DEADLOCK_WINDOW)
+
+        # Flight recorder (repro.obs): armed only when the config carries
+        # a TraceSpec; otherwise every emission site is a dead branch.
+        if config.trace is not None:
+            self.trace = TraceRecorder(config.trace)
+            self.be.attach_trace(self.trace)
+            self.fe.trace = self.trace
+            self.hierarchy.trace = self.trace
+        else:
+            self.trace = None
+        self.metrics = MetricRegistry()
+        register_core_sources(self.metrics, self)
 
         # Engine structures, re-exposed under their historical names.
         self.rob = self.be.rob
@@ -138,7 +152,8 @@ class BaselineCore:
                 if committed >= max_instructions:
                     break   # don't skip past the final commit's cycle
             elif c - last_cycle > window:
-                watchdog.trip(c, committed)
+                watchdog.trip(c, committed,
+                              snapshot=self._deadlock_snapshot)
             # Governor interval boundary. A skip-ahead below may jump past
             # the boundary; the hook then fires here on the next simulated
             # cycle with a correspondingly longer interval (DESIGN.md §4).
@@ -224,6 +239,32 @@ class BaselineCore:
         self.stats.be_cycles_create = self.cycle
         self.stats.fe_cycles_active = self.cycle
 
+    def _deadlock_snapshot(self):
+        """Structured machine state for the watchdog's DeadlockError."""
+        be = self.be
+        head = be.rob.head()
+        oldest = None
+        if head is not None:
+            dyn = head.dyn
+            oldest = {"seq": dyn.seq, "pc": dyn.pc, "op": dyn.op.name,
+                      "done": head.done, "is_mem": head.is_mem}
+        snap = {
+            "core": type(self).__name__,
+            "cycle": self.cycle,
+            "committed": self.stats.committed,
+            "rob": {"occupancy": len(be.rob), "capacity": be.rob.capacity},
+            "lsq": {"occupancy": len(be.lsq), "capacity": be.lsq.capacity},
+            "iw": {"occupancy": len(self.iw), "capacity": self.iw.capacity},
+            "fetch_blocked": self._fetch_blocked,
+            "next_event_cycle": be.next_event_cycle(),
+            "oldest": oldest,
+            "mshr": self.hierarchy.stats_dict().get("mshr"),
+        }
+        if self.trace is not None:
+            snap["trace_window"] = [list(ev)
+                                    for ev in self.trace.window(256)]
+        return snap
+
     def _functional_warmup(self, count: int) -> None:
         """Prime caches and predictor without timing.
 
@@ -288,6 +329,13 @@ class BaselineCore:
         be = self.be
         selected = self.iw.select(c, be.fu)
         if not selected:
+            tr = self.trace
+            if tr is not None:
+                # The caller gated on window occupancy: an empty grant
+                # means every occupant waits on operands (dep_wait)
+                # unless ready entries were passed over for units.
+                tr.emit(c, "stall", -1,
+                        "fu_busy" if self.iw._eligible else "dep_wait")
             return
         rf_reads = be.schedule_group(selected, c, self.mem_scale)
         n = len(selected)
@@ -309,6 +357,7 @@ class BaselineCore:
         pending = be.pending
         ready = be.ready_getter
         events = self._events
+        tr = self.trace
         earliest = c + 1
         n = 0
         while rename_out and n < self._dispatch_width:
@@ -316,8 +365,14 @@ class BaselineCore:
             if dyn.lat_ready > c:
                 break
             if len(rob_q) >= rob_cap or iw._count >= iw_cap:
+                if tr is not None:
+                    tr.emit(c, "stall", dyn.seq,
+                            "rob_full" if len(rob_q) >= rob_cap
+                            else "iw_full")
                 break
             if dyn.mem_addr is not None and lsq.full:
+                if tr is not None:
+                    tr.emit(c, "stall", dyn.seq, "lsq_full")
                 break
             rename_out.popleft()
             entry = RobEntry(dyn,
@@ -333,6 +388,8 @@ class BaselineCore:
             events["rob_write"] += 1
             iw.insert(dyn, ready, earliest)
             events["iw_write"] += 1
+            if tr is not None:
+                tr.emit(c, "dispatch", dyn.seq)
             n += 1
 
     def _do_rename(self, c: int) -> None:
@@ -343,6 +400,7 @@ class BaselineCore:
         ready = self.be.ready
         events = self._events
         reg_map = renamer._map
+        tr = self.trace
         n = 0
         while decode_out and n < self._rename_width:
             dyn = decode_out[0]
@@ -370,6 +428,8 @@ class BaselineCore:
             dyn.lat_ready = c + 1
             rename_out.append(dyn)
             events["rename_op"] += 1
+            if tr is not None:
+                tr.emit(c, "rename", dyn.seq)
             n += 1
 
     def _do_fetch(self, c: int) -> None:
@@ -380,6 +440,7 @@ class BaselineCore:
         stats = self.stats
         events = self._events
         next_instr = self._next_instr
+        tr = self.trace
         delay = 0
         n = 0
         for _ in range(self._fetch_width):
@@ -390,6 +451,8 @@ class BaselineCore:
                 events["icache_access"] += 1
             dyn.lat_ready = c + delay
             fetch_out.append(dyn)
+            if tr is not None:
+                tr.emit(c, "fetch", dyn.seq)
             n += 1
             if dyn.branch_kind:
                 stats.branches += 1

@@ -18,6 +18,7 @@ from repro.errors import ConfigError
 from repro.frontend.bpred import BPredConfig
 from repro.mem.hierarchy import MemoryConfig
 from repro.mem.spec import MemorySpec
+from repro.obs.spec import TraceSpec
 
 
 def _canonical(value: object) -> object:
@@ -106,11 +107,22 @@ class CoreConfig(_CacheKeyMixin):
     #: spellings of the default machine hash identically.
     mem: Optional[MemorySpec] = None
 
+    #: Flight-recorder spec (:class:`repro.obs.TraceSpec`): ring-buffer
+    #: size, event mask and cycle window. ``None`` (the default) means
+    #: no recorder is constructed — the cores carry a single ``None``
+    #: attribute and every emission site reduces to one predictable
+    #: branch, which is what keeps the golden stats and BENCH_core.json
+    #: untouched (DESIGN.md §7).
+    trace: Optional[TraceSpec] = None
+
     def __post_init__(self) -> None:
-        # Rebuild a spec handed over as a plain payload dict (store
+        # Rebuild specs handed over as plain payload dicts (store
         # records, RunSpec.from_dict), mirroring ClockPlan.governor.
         if isinstance(self.mem, dict):
             object.__setattr__(self, "mem", MemorySpec.from_dict(self.mem))
+        if isinstance(self.trace, dict):
+            object.__setattr__(self, "trace",
+                               TraceSpec.from_dict(self.trace))
         if self.issue_width < 1 or self.fetch_width < 1:
             raise ConfigError("widths must be >= 1")
         if self.phys_regs < 64 + self.rename_width:

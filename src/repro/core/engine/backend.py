@@ -52,7 +52,8 @@ class ExecBackend:
     __slots__ = ("stats", "hierarchy", "fu", "lsq", "rob", "ready",
                  "wake_events", "done_events", "pending", "_events",
                  "_regread_stages", "_rob_q", "_iw",
-                 "_commit_width", "_on_resolved", "_commit_entry")
+                 "_commit_width", "_on_resolved", "_commit_entry",
+                 "_trace")
 
     def __init__(self, config: CoreConfig, stats: SimStats,
                  hierarchy: MemoryHierarchy, phys_regs: int):
@@ -78,6 +79,13 @@ class ExecBackend:
         self._iw = None
         self._on_resolved: ResolveHook = _no_resolve
         self._commit_entry: CommitHook = _no_commit
+        #: Flight recorder, or None (the no-op path: every emission site
+        #: below is one ``is not None`` branch on a slot read).
+        self._trace = None
+
+    def attach_trace(self, recorder) -> None:
+        """Arm the flight recorder (a :class:`repro.obs.TraceRecorder`)."""
+        self._trace = recorder
 
     def configure(self, iw, on_resolved: ResolveHook,
                   commit_entry: CommitHook) -> None:
@@ -130,6 +138,10 @@ class ExecBackend:
                 entry.done = True
                 if entry.mispredicted:
                     on_resolved(entry, c)
+            tr = self._trace
+            if tr is not None:
+                for entry in dones:
+                    tr.emit(c, "complete", entry.dyn.seq)
         rob_q = self._rob_q
         if rob_q and rob_q[0].done:
             self.retire(self._commit_width, mem_scale, self._commit_entry, c)
@@ -167,6 +179,7 @@ class ExecBackend:
         load = self.hierarchy.load
         events = self._events
         lat_tab = EXEC_LATENCY_TAB
+        tr = self._trace
         rf_reads = 0
         for dyn in selected:
             op = dyn.op
@@ -174,6 +187,8 @@ class ExecBackend:
             if op is OpClass.LOAD:
                 lat += load(dyn.mem_addr, mem_scale, c)
                 events["dcache_access"] += 1
+            if tr is not None:
+                tr.emit(c, "issue", dyn.seq, lat)
             wake = c + lat
             tag = dyn.dest_tag
             if tag >= 0:
@@ -212,6 +227,10 @@ class ExecBackend:
             commit_entry(entry)
             stats.committed += 1
         events["rob_read"] += len(retired)
+        tr = self._trace
+        if tr is not None:
+            for entry in retired:
+                tr.emit(now, "retire", entry.dyn.seq)
         return len(retired)
 
     def next_event_cycle(self):

@@ -29,7 +29,7 @@ class FrontEndFeed:
     """Fetch-out / decode-out / rename-out latches plus the Decode stage."""
 
     __slots__ = ("decode_width", "_fetch_cap", "fetch_out", "decode_out",
-                 "rename_out", "_events")
+                 "rename_out", "_events", "trace")
 
     def __init__(self, fetch_width: int, decode_width: int,
                  stats: SimStats):
@@ -39,6 +39,10 @@ class FrontEndFeed:
         self.decode_out: Deque[DynInstr] = deque()
         self.rename_out: Deque[DynInstr] = deque()
         self._events = stats.events
+        #: Flight recorder, or None. Only set by single-clock cores:
+        #: decode events are stamped with the cycle passed to
+        #: :meth:`decode`, which must be on the back-end cycle axis.
+        self.trace = None
 
     @property
     def fetch_room(self) -> bool:
@@ -51,6 +55,7 @@ class FrontEndFeed:
         if not fetch_out:
             return
         decode_out = self.decode_out
+        tr = self.trace
         n = 0
         while fetch_out and n < self.decode_width:
             dyn = fetch_out[0]
@@ -59,6 +64,8 @@ class FrontEndFeed:
             fetch_out.popleft()
             dyn.lat_ready = c + 1
             decode_out.append(dyn)
+            if tr is not None:
+                tr.emit(c, "decode", dyn.seq)
             n += 1
         if n:
             self._events["decode_op"] += n

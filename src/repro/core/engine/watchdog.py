@@ -7,9 +7,9 @@ constant; the watchdog unifies them behind ``CoreConfig.deadlock_window``
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
-from repro.errors import SimulationError
+from repro.errors import DeadlockError, SimulationError
 
 
 class DeadlockWatchdog:
@@ -17,7 +17,10 @@ class DeadlockWatchdog:
 
     ``poll`` is called once per cycle (or per back-end tick) with the
     current cycle number and committed-instruction count; ``describe``
-    supplies the core-specific context appended to the error message.
+    supplies the core-specific context appended to the error message and
+    ``snapshot`` a structured machine-state dict attached to the raised
+    :class:`DeadlockError` (both are callables so the happy path never
+    pays for building them).
     """
 
     __slots__ = ("window", "_last_cycle", "_last_count")
@@ -30,17 +33,24 @@ class DeadlockWatchdog:
         self._last_count = -1
 
     def poll(self, cycle: int, committed: int,
-             describe: Optional[Callable[[], str]] = None) -> None:
+             describe: Optional[Callable[[], str]] = None,
+             snapshot: Optional[Callable[[], Dict[str, object]]] = None,
+             ) -> None:
         if committed != self._last_count:
             self._last_count = committed
             self._last_cycle = cycle
         elif cycle - self._last_cycle > self.window:
-            self.trip(cycle, committed, describe)
+            self.trip(cycle, committed, describe, snapshot)
 
     def trip(self, cycle: int, committed: int,
-             describe: Optional[Callable[[], str]] = None) -> None:
+             describe: Optional[Callable[[], str]] = None,
+             snapshot: Optional[Callable[[], Dict[str, object]]] = None,
+             ) -> None:
         """Raise the deadlock error (run loops inline the cheap check)."""
         detail = describe() if describe is not None else (
             f" at cycle {cycle} (committed={committed})")
-        raise SimulationError(
-            f"no commit for {self.window} cycles{detail}")
+        data = snapshot() if snapshot is not None else {}
+        data.setdefault("cycle", cycle)
+        data.setdefault("committed", committed)
+        raise DeadlockError(
+            f"no commit for {self.window} cycles{detail}", snapshot=data)

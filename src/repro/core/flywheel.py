@@ -56,6 +56,8 @@ from repro.isa import DynInstr, OpClass
 from repro.isa.opclasses import EXEC_LATENCY_TAB, FU_KIND_TAB, UNPIPELINED_TAB
 from repro.issue.dual_clock import DualClockIssueWindow
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.obs.metrics import MetricRegistry, register_core_sources
+from repro.obs.trace import TraceRecorder
 from repro.rename.pools import PoolFile
 from repro.rename.redistribution import RedistributionController
 from repro.rename.two_phase import TwoPhaseRenamer
@@ -243,6 +245,20 @@ class FlywheelCore:
         else:
             self.dvfs = None
 
+        # Flight recorder (repro.obs): all lifecycle events are stamped
+        # on the *back-end* cycle axis — FE events read ``be_dom.cycles``
+        # at emission time — so the pipeview timeline is monotone across
+        # the two domains. ``fe.trace`` is deliberately left None: decode
+        # happens on the FE grid and has no BE-axis cycle to stamp.
+        if config.trace is not None:
+            self.trace = TraceRecorder(config.trace)
+            self.be.attach_trace(self.trace)
+            self.hierarchy.trace = self.trace
+        else:
+            self.trace = None
+        self.metrics = MetricRegistry()
+        register_core_sources(self.metrics, self)
+
     # ------------------------------------------------------------------ run
 
     def run(self, max_instructions: int, warmup: int = 0) -> SimStats:
@@ -279,7 +295,8 @@ class FlywheelCore:
                         break   # don't skip past the final commit's tick
                 elif be_dom.cycles - last_cycle > window:
                     watchdog.trip(be_dom.cycles, committed,
-                                  self._deadlock_detail)
+                                  self._deadlock_detail,
+                                  snapshot=self._deadlock_snapshot)
                 # Governor interval boundary (BE cycles). The replay
                 # skip-ahead below may bulk-advance past a boundary; the
                 # hook then fires on the next popped BE tick with a
@@ -320,6 +337,37 @@ class FlywheelCore:
         return (f" (BE cycles; mode={self.mode}, "
                 f"boundary={self._boundary}, rob={len(self.rob)}, "
                 f"iw={len(self.iw)}, fifo={len(self._dispatch_fifo)})")
+
+    def _deadlock_snapshot(self):
+        """Structured machine state for the watchdog's DeadlockError."""
+        be = self.be
+        head = be.rob.head()
+        oldest = None
+        if head is not None:
+            dyn = head.dyn
+            oldest = {"seq": dyn.seq, "pc": dyn.pc, "op": dyn.op.name,
+                      "done": head.done, "is_mem": head.is_mem}
+        snap = {
+            "core": type(self).__name__,
+            "cycle": self.be_dom.cycles,
+            "committed": self.stats.committed,
+            "mode": str(self.mode),
+            "boundary": str(self._boundary),
+            "rob": {"occupancy": len(be.rob), "capacity": be.rob.capacity},
+            "lsq": {"occupancy": len(be.lsq), "capacity": be.lsq.capacity},
+            "iw": {"occupancy": len(self.iw), "capacity": self.iw.capacity},
+            "dispatch_fifo": len(self._dispatch_fifo),
+            "outstanding": dict(self._outstanding),
+            "fe_gated": self._fe_gated,
+            "fetch_blocked": self._fetch_blocked,
+            "next_event_cycle": be.next_event_cycle(),
+            "oldest": oldest,
+            "mshr": self.hierarchy.stats_dict().get("mshr"),
+        }
+        if self.trace is not None:
+            snap["trace_window"] = [list(ev)
+                                    for ev in self.trace.window(256)]
+        return snap
 
     def _functional_warmup(self, count: int) -> None:
         # warm_* variants: contents and counters only — the MSHR
@@ -391,6 +439,8 @@ class FlywheelCore:
         rename_out = self._rename_out
         renamer = self.renamer
         events = self._events
+        tr = self.trace
+        be_c = self.be_dom.cycles
         n = 0
         while decode_out and n < self.config.rename_width:
             dyn = decode_out[0]
@@ -403,6 +453,8 @@ class FlywheelCore:
                 dyn.trace_start = True
             if not renamer.can_rename_dest(dyn):
                 self.stats.rename_pool_stalls += 1
+                if tr is not None:
+                    tr.emit(be_c, "stall", dyn.seq, "pool_full")
                 break
             decode_out.popleft()
             renamer.rename(dyn)
@@ -410,6 +462,8 @@ class FlywheelCore:
             self._trace_pos_counter += 1
             dyn.lat_ready = fe_c + 1
             rename_out.append(dyn)
+            if tr is not None:
+                tr.emit(be_c, "rename", dyn.seq)
             events["rename_op"] += 1
             n += 1
 
@@ -422,6 +476,8 @@ class FlywheelCore:
         stats = self.stats
         events = self._events
         fe_scale = self._fe_scale
+        tr = self.trace
+        be_c = self.be_dom.cycles
         delay = 0
         for i in range(self.config.fetch_width):
             dyn = self._next_oracle()
@@ -439,6 +495,8 @@ class FlywheelCore:
                 self._pre_update.get(self._fe_gen, 0) + 1
             dyn.lat_ready = fe_c + delay
             fetch_out.append(dyn)
+            if tr is not None:
+                tr.emit(be_c, "fetch", dyn.seq)
             stats.fetched += 1
             self._fe_trace_count += 1
             if dyn.is_branch:
@@ -587,6 +645,10 @@ class FlywheelCore:
     def _create_issue(self, c: int) -> None:
         selected = self.iw.select(c, self.be.fu)
         if not selected:
+            tr = self.trace
+            if tr is not None:
+                tr.emit(c, "stall", -1,
+                        "fu_busy" if self.iw._eligible else "dep_wait")
             return
         be = self.be
         rf_reads = be.schedule_group(selected, c, self._be_scale)
@@ -624,14 +686,20 @@ class FlywheelCore:
         ready = be.ready
         ready_getter = be.ready_getter
         events = self._events
+        tr = self.trace
         n = 0
         while n < self.config.dispatch_width:
             dyn = fifo.peek_ready(now_ps)
             if dyn is None:
                 break
             if be.rob.full or iw.free_slots == 0:
+                if tr is not None:
+                    tr.emit(c, "stall", dyn.seq,
+                            "rob_full" if be.rob.full else "iw_full")
                 break
             if dyn.mem_addr is not None and be.lsq.full:
+                if tr is not None:
+                    tr.emit(c, "stall", dyn.seq, "lsq_full")
                 break
             if dyn.trace_start and not self._begin_trace_at_update(dyn, c):
                 self.stats.checkpoint_stall_cycles += 1
@@ -652,6 +720,8 @@ class FlywheelCore:
             mispredicted = dyn.seq == self._boundary_branch_seq
             be.admit(dyn, RobEntry(dyn, mispredicted=mispredicted))
             iw.insert_synced(dyn, ready_getter, earliest=c + 1)
+            if tr is not None:
+                tr.emit(c, "dispatch", dyn.seq)
             self._outstanding[dyn.trace_gen] = \
                 self._outstanding.get(dyn.trace_gen, 0) + 1
             events["iw_write"] += 1
@@ -1056,18 +1126,25 @@ class FlywheelCore:
         """Program-order Register Update + ROB/LSQ/pool allocation."""
         be = self.be
         events = self._events
+        tr = self.trace
         n = 0
         while (replay.alloc_ptr < replay.valid_count
                and n < self.config.issue_width):
             dyn = replay.paired[replay.alloc_ptr]
             if be.rob.full:
+                if tr is not None:
+                    tr.emit(c, "stall", dyn.seq, "rob_full")
                 break
             if dyn.mem_addr is not None and be.lsq.full:
+                if tr is not None:
+                    tr.emit(c, "stall", dyn.seq, "lsq_full")
                 break
             if dyn.dest is not None and dyn.dest != 0 \
                     and not self.pools.can_allocate(dyn.dest):
                 self.pools.note_stall(dyn.dest)
                 self.stats.rename_pool_stalls += 1
+                if tr is not None:
+                    tr.emit(c, "stall", dyn.seq, "pool_full")
                 break
             self.renamer.update(dyn, self._trace_run)
             events["update_op"] += 1
@@ -1088,6 +1165,8 @@ class FlywheelCore:
                 be.lsq.insert()
                 events["lsq_write"] += 1
             events["rob_write"] += 1
+            if tr is not None:
+                tr.emit(c, "dispatch", dyn.seq)
             replay.alloc_ptr += 1
             n += 1
 
@@ -1129,6 +1208,7 @@ class FlywheelCore:
         wake_events = be.wake_events
         done_events = be.done_events
         regread = self.config.regread_stages
+        tr = self.trace
         for rec in valid:
             entry = entries[rec.pos]
             dyn = entry.dyn
@@ -1138,6 +1218,8 @@ class FlywheelCore:
                 events["dcache_access"] += 1
             wake = c + lat
             done = wake + regread
+            if tr is not None:
+                tr.emit(c, "issue", dyn.seq, lat)
             if dyn.dest_tag >= 0:
                 ready[dyn.dest_tag] = 0
                 wake_events.setdefault(wake, []).append(dyn.dest_tag)

@@ -79,6 +79,14 @@ class SimResult:
     clock: ClockPlan = field(default_factory=ClockPlan)
     kind: str = ""        # registered kind name (see repro.core.registry)
     l2_accesses: int = 0
+    #: Serialized flight-recorder ring (``TraceRecorder.serialize()``),
+    #: or None when the run was untraced — the common case, and the one
+    #: whose ``to_dict`` stays byte-identical to pre-tracing results.
+    trace: Optional[Dict[str, object]] = None
+    #: Path of the trace artifact a Session wrote for this result (the
+    #: Chrome trace-event JSON), if any. In-process convenience like
+    #: ``core``; not serialized.
+    trace_path: Optional[str] = None
 
     @property
     def time_ps(self) -> int:
@@ -92,13 +100,16 @@ class SimResult:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe dict (drops the live ``core`` object)."""
-        return {
+        data = {
             "name": self.name,
             "kind": self.kind,
             "l2_accesses": self.l2_accesses,
             "clock": asdict(self.clock),
             "stats": self.stats.to_dict(),
         }
+        if self.trace is not None:
+            data["trace"] = self.trace
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SimResult":
@@ -109,6 +120,7 @@ class SimResult:
             clock=ClockPlan(**data["clock"]),
             kind=data.get("kind", ""),
             l2_accesses=int(data.get("l2_accesses", 0)),
+            trace=data.get("trace"),
         )
 
 
@@ -154,9 +166,12 @@ def _sync_runner(kind: str):
             period_ps = round(1e6 / clock.base_mhz)
             stats.sim_time_ps = stats.total_be_cycles * period_ps
         stats.cache_stats = core.hierarchy.stats_dict()
+        stats.metrics = core.metrics.snapshot()
         return SimResult(name=program.name, stats=stats, core=core,
                          clock=clock, kind=info.name,
-                         l2_accesses=core.hierarchy.l2.stats.accesses)
+                         l2_accesses=core.hierarchy.l2.stats.accesses,
+                         trace=(core.trace.serialize()
+                                if core.trace is not None else None))
 
     runner.__name__ = f"run_{kind}_kind"
     return runner
@@ -180,9 +195,12 @@ def _flywheel_runner(workload: Union[str, WorkloadProfile, Program],
     core = info.core_cls(config, fly, clock, stream, mem_scale=mem_scale)
     stats = core.run(max_instructions, warmup=warmup)
     stats.cache_stats = core.hierarchy.stats_dict()
+    stats.metrics = core.metrics.snapshot()
     return SimResult(name=program.name, stats=stats, core=core, clock=clock,
                      kind=info.name,
-                     l2_accesses=core.hierarchy.l2.stats.accesses)
+                     l2_accesses=core.hierarchy.l2.stats.accesses,
+                     trace=(core.trace.serialize()
+                            if core.trace is not None else None))
 
 
 def execute_kind(kind: str,

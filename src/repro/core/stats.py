@@ -58,6 +58,12 @@ class SimStats:
     #: runners from ``MemoryHierarchy.stats_dict()`` at the end of a run.
     cache_stats: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
+    #: Flat MetricRegistry snapshot (``"engine.rob.occupancy"`` -> value)
+    #: taken by the runners at the end of a run. Deterministic for a
+    #: deterministic simulation, so it rides through the golden-stats
+    #: gate and the content-addressed store like any other counter.
+    metrics: Dict[str, object] = field(default_factory=dict)
+
     #: Power events: structure-access counts consumed by repro.power.
     events: Counter = field(default_factory=Counter)
 

@@ -210,6 +210,9 @@ class SyncDvfsController(_DvfsController):
         core.mem_scale = self._mem_base * self.scale
         self.stats.dvfs_retunes += 1
         self.stats.freq_trace.append([c, self.freq_mhz])
+        tr = getattr(core, "trace", None)
+        if tr is not None:
+            tr.emit(c, "clock", -1, self.freq_mhz)
 
     def finalize(self, total_cycles: int) -> int:
         """Piecewise wall-clock time of the whole run, in picoseconds."""
@@ -244,6 +247,9 @@ class FlywheelDvfsController(_DvfsController):
             core._dvfs_rescale(self.scale, now_ps)
             self.stats.dvfs_retunes += 1
             self.stats.freq_trace.append([c, self._fast_mhz * self.scale])
+            tr = getattr(core, "trace", None)
+            if tr is not None:
+                tr.emit(c, "clock", -1, self._fast_mhz * self.scale)
         self.next_check = c + self.cfg.interval
         return self.next_check
 

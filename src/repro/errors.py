@@ -23,6 +23,21 @@ class SimulationError(ReproError):
     """An internal simulation invariant was violated (simulator bug)."""
 
 
+class DeadlockError(SimulationError):
+    """No instruction committed for a full watchdog window.
+
+    ``snapshot`` carries the machine state at the moment the watchdog
+    tripped — occupancies (ROB/LSQ/issue window/MSHR), the oldest
+    in-flight instruction, and (when the flight recorder is armed) the
+    last trace-window events — so a deadlock is debuggable from the
+    exception alone, without re-running under a tracer.
+    """
+
+    def __init__(self, message: str, snapshot=None):
+        super().__init__(message)
+        self.snapshot = snapshot or {}
+
+
 class CampaignError(ReproError):
     """A campaign spec is invalid or a campaign run failed (bad run kind,
     corrupt store record, worker failure or per-job timeout)."""

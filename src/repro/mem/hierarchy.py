@@ -137,6 +137,11 @@ class MemoryHierarchy:
         self._pf_last_line = -1
         self._pf_last_stride = 0
 
+        #: Flight recorder (set by the owning core when tracing is on).
+        #: Consulted only on general-path miss/stall handling — the
+        #: golden-pinned fast path and the L1-hit hot loop never read it.
+        self.trace = None
+
         if spec.is_simple and not force_general:
             # Legacy fast path: identical probe sequence and latency
             # arithmetic to the pre-spec hierarchy (golden-pinned; the
@@ -315,6 +320,8 @@ class MemoryHierarchy:
             fills = sorted(table.values())
             wait = fills[len(fills) - count] - now
             self._mshr_stall_cycles += wait
+            if self.trace is not None and wait > 0:
+                self.trace.emit(now, "stall", -1, "mshr_full")
         table[line] = now + wait + below
         self._mshr_allocs += 1
         occ = min(len(table), count)       # queued entries don't hold slots
@@ -338,6 +345,11 @@ class MemoryHierarchy:
                     self._mshr_merges += 1
                     return self._dchain[0].latency + (fill - now)
             return lat                      # true L1 hit
+        if self.trace is not None:
+            # Miss serviced at data-chain level ``hit_idx`` (1 = the
+            # first shared level), or DRAM when the walk ran off the end.
+            self.trace.emit(now, "mem", -1,
+                            hit_idx if hit_idx >= 0 else len(self._dchain))
         if self._pf_kind:
             self._train_prefetch(line)
         if self._mshr_count:

@@ -1,0 +1,40 @@
+"""Observability: flight recorder, metric registry, renderers, profiler.
+
+The simulator's fourth subsystem (after the engine, the memory system
+and the DVFS layer): a :class:`TraceSpec` on a ``CoreConfig`` arms a
+:class:`TraceRecorder` inside every core kind, a
+:class:`MetricRegistry` gives every layer's counters one dotted
+namespace, the renderers turn recorded events into a text pipeview or a
+Chrome trace, and the self-profiler buckets the simulator's own wall
+time per engine phase.  ``python -m repro.obs`` is the CLI over all of
+it.  DESIGN.md §7 documents the event schema and the no-op-path
+guarantee.
+"""
+
+from repro.obs.metrics import (
+    MetricCounter,
+    MetricHistogram,
+    MetricRegistry,
+    register_core_sources,
+)
+from repro.obs.profiler import PhaseProfile, install, profile_machine
+from repro.obs.render import chrome_trace, lifecycles, render_pipeview
+from repro.obs.spec import EVENT_KINDS, STALL_REASONS, TraceSpec
+from repro.obs.trace import TraceRecorder
+
+__all__ = [
+    "EVENT_KINDS",
+    "MetricCounter",
+    "MetricHistogram",
+    "MetricRegistry",
+    "PhaseProfile",
+    "STALL_REASONS",
+    "TraceRecorder",
+    "TraceSpec",
+    "chrome_trace",
+    "install",
+    "lifecycles",
+    "profile_machine",
+    "register_core_sources",
+    "render_pipeview",
+]

@@ -1,0 +1,221 @@
+"""Self-profiler: wall-time per engine phase of the *simulator*.
+
+Where the trace recorder watches the simulated machine, the profiler
+watches the Python that simulates it: how many wall-clock seconds each
+pipeline phase of the tick loop costs.  Its output is the target list
+for the ROADMAP's compiled-hot-loop work, written next to
+``BENCH_core.json`` by ``bench_sim_speed --profile`` and by
+``python -m repro.obs profile``.
+
+Phase buckets (mapping the frontend/schedule/exec/mem/retire phases of
+the engine onto the code that implements them):
+
+``frontend``   fetch + decode (I-cache model, branch prediction)
+``rename``     register renaming
+``dispatch``   ROB/LSQ/window admission
+``schedule``   wake-up/select plus execution scheduling — includes the
+               D-cache/MSHR model, which is invoked at load scheduling
+``backend``    the engine tick: FU bookkeeping, writeback broadcast,
+               in-order retire (and store D-cache traffic at commit)
+
+For the dual-clock Flywheel the domain boundary is the honest cut:
+``frontend`` is the FE-domain tick, ``backend`` the BE-domain tick.
+
+The synchronous cores are profiled through a *mirrored* step function
+installed as an instance attribute: ``BaselineCore.run`` calls
+``self.step()``, so the shadow takes over without touching the hot
+loop for unprofiled runs.  The mirror must stay in lockstep with
+``BaselineCore.step`` — ``tests/test_obs.py`` pins equal stats from a
+profiled and an unprofiled run.  Anything left of the run loop that no
+bucket claims (skip-ahead analysis, watchdog polling, the loop itself)
+shows up as ``other``, which is itself a useful number.
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+from typing import Dict, Optional
+
+PHASES = ("frontend", "rename", "dispatch", "schedule", "backend")
+
+
+class PhaseProfile:
+    """Accumulated wall seconds per engine phase of one run."""
+
+    def __init__(self):
+        self.seconds: Dict[str, float] = {ph: 0.0 for ph in PHASES}
+        self.ticks = 0
+        self.warmup_s = 0.0
+        self.run_s = 0.0
+
+    @property
+    def other_s(self) -> float:
+        """Run-loop time outside every phase bucket (skip-ahead
+        analysis, watchdog polling, loop overhead)."""
+        return max(0.0, self.run_s - sum(self.seconds.values()))
+
+    def to_dict(self) -> Dict[str, object]:
+        total = self.run_s or 1.0
+        return {
+            "phases_s": {ph: round(s, 6) for ph, s in self.seconds.items()},
+            "phase_frac": {ph: round(s / total, 4)
+                           for ph, s in self.seconds.items()},
+            "other_s": round(self.other_s, 6),
+            "warmup_s": round(self.warmup_s, 6),
+            "run_s": round(self.run_s, 6),
+            "ticks": self.ticks,
+        }
+
+
+def _profiled_sync_step(core, prof, pc=perf_counter):
+    """Mirror of :meth:`BaselineCore.step` with per-phase timestamps.
+
+    Must perform exactly the same stage calls under exactly the same
+    guards; the stats-equivalence test in tests/test_obs.py enforces it.
+    """
+    seconds = prof.seconds
+
+    def step():
+        c = core.cycle
+        t0 = pc()
+        core.be.tick(c, core.mem_scale)
+        t1 = pc()
+        seconds["backend"] += t1 - t0
+        if core.iw._count and not (core._wakeup_gate and (c & 1)):
+            core._do_issue(c)
+        t2 = pc()
+        seconds["schedule"] += t2 - t1
+        if core._rename_out:
+            core._do_dispatch(c)
+        t3 = pc()
+        seconds["dispatch"] += t3 - t2
+        if core._decode_out:
+            core._do_rename(c)
+        t4 = pc()
+        seconds["rename"] += t4 - t3
+        if core._fetch_out:
+            core.fe.decode(c)
+        if not core._fetch_blocked and c >= core._fetch_resume_cycle:
+            core._do_fetch(c)
+        seconds["frontend"] += pc() - t4
+        core.cycle = c + 1
+        prof.ticks += 1
+
+    return step
+
+
+def _wrap_domain_tick(fn, seconds, bucket, pc=perf_counter):
+    def tick(now_ps):
+        t0 = pc()
+        fn(now_ps)
+        seconds[bucket] += pc() - t0
+    return tick
+
+
+def install(core) -> PhaseProfile:
+    """Attach phase timing to a core; must run before ``core.run()``.
+
+    Dispatches on the attribute contract of the built-in kinds: a
+    single-clock core exposes ``step``; a dual-clock core exposes
+    ``_fe_tick``/``_be_tick`` (rebound by its run loop from ``self``, so
+    instance-attribute shadows take effect).  Raises ``TypeError`` for
+    cores exposing neither.
+    """
+    prof = PhaseProfile()
+    if hasattr(core, "_fe_tick") and hasattr(core, "_be_tick"):
+        core._fe_tick = _wrap_domain_tick(core._fe_tick, prof.seconds,
+                                          "frontend")
+        core._be_tick = _wrap_domain_tick(core._be_tick, prof.seconds,
+                                          "backend")
+    elif hasattr(core, "step"):
+        core.step = _profiled_sync_step(core, prof)
+    else:
+        raise TypeError(
+            f"cannot profile {type(core).__name__}: exposes neither "
+            "step() nor _fe_tick/_be_tick")
+    return prof
+
+
+def profile_machine(kind: str, workload, config=None, fly=None, clock=None,
+                    instructions: Optional[int] = None,
+                    warmup: Optional[int] = None,
+                    seed: Optional[int] = None,
+                    mem_scale: float = 1.0) -> Dict[str, object]:
+    """Run one machine with phase profiling; returns the profile report.
+
+    Follows the built-in runners' construction contract (kind registry,
+    default config/clock, functional warmup), so the simulated machine
+    is the same one ``Session.run`` would produce — only the wall clock
+    is watched more closely.
+    """
+    # Deferred imports: repro.core.sim imports nothing from repro.obs,
+    # but keeping the profiler importable without the core package costs
+    # nothing and mirrors the render/trace modules' independence.
+    from repro.core.config import ClockPlan, FlywheelConfig
+    from repro.core.registry import get_kind
+    from repro.core.sim import (DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP,
+                                _resolve_workload)
+    from repro.workloads import InstructionStream
+
+    info = get_kind(kind)
+    config = config or info.default_config()
+    clock = clock or ClockPlan()
+    instructions = DEFAULT_INSTRUCTIONS if instructions is None else instructions
+    warmup = DEFAULT_WARMUP if warmup is None else warmup
+    program = _resolve_workload(workload, seed)
+    stream = InstructionStream(program)
+    if info.dual_clock:
+        fly = fly or FlywheelConfig()
+        core = info.core_cls(config, fly, clock, stream,
+                             mem_scale=mem_scale)
+    else:
+        core = info.core_cls(config, stream, mem_scale=mem_scale,
+                             clock=clock)
+    prof = install(core)
+
+    t0 = perf_counter()
+    if warmup:
+        core._functional_warmup(warmup)
+        if core.dvfs is not None:
+            core.dvfs.reset_baseline(core)
+    t1 = perf_counter()
+    stats = core.run(instructions, warmup=0)
+    prof.run_s = perf_counter() - t1
+    prof.warmup_s = t1 - t0
+
+    cycles = stats.total_be_cycles
+    report = {
+        "kind": kind,
+        "workload": program.name,
+        "instructions": instructions,
+        "warmup": warmup,
+        "cycles": cycles,
+        "cycles_per_sec": round(cycles / prof.run_s, 1) if prof.run_s else 0.0,
+        "profile": prof.to_dict(),
+    }
+    return report
+
+
+def write_profile(report: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def format_profile(report: Dict[str, object]) -> str:
+    """Human-readable table for the CLI."""
+    prof = report["profile"]
+    lines = [
+        f"{report['kind']}/{report['workload']}  "
+        f"{report['cycles']} cycles in {prof['run_s']:.3f}s  "
+        f"({report['cycles_per_sec']:.0f} cyc/s)",
+        f"  warmup: {prof['warmup_s']:.3f}s",
+    ]
+    for ph in PHASES:
+        s = prof["phases_s"][ph]
+        frac = prof["phase_frac"][ph]
+        bar = "#" * int(round(frac * 40))
+        lines.append(f"  {ph:<9} {s:8.3f}s  {frac:6.1%}  {bar}")
+    lines.append(f"  {'other':<9} {prof['other_s']:8.3f}s")
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Trace renderers: text pipeview and Chrome trace-event JSON.
+
+Both renderers consume the flight recorder's ``(cycle, kind, seq,
+info)`` event list — live (``recorder.events``) or serialized
+(``result.trace["events"]``) — and never touch the simulator, so they
+can run long after a campaign finished, against store records.
+
+The pipeview is a gem5-O3/Konata-style Gantt: one row per instruction,
+one column per cycle (or per bucket of cycles when the window is wider
+than the terminal), stage events marked with capital letters and the
+spans between them with fillers, so dependence stalls and memory
+shadows are visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+Event = Sequence  # (cycle, kind, seq, info), tuple or list
+
+#: Lifecycle stages in pipeline order with their pipeview markers.
+STAGE_CHARS: Dict[str, str] = {
+    "fetch": "F", "decode": "D", "rename": "N", "dispatch": "P",
+    "issue": "I", "complete": "C", "retire": "R",
+}
+STAGE_ORDER: Tuple[str, ...] = tuple(STAGE_CHARS)
+
+#: Filler drawn between a stage and the next one: the phase the
+#: instruction is *in* after that stage fires.
+_SPAN_CHARS: Dict[str, str] = {
+    "fetch": ".", "decode": ".", "rename": ".",
+    "dispatch": "w",            # waiting in the issue window
+    "issue": "=",               # executing
+    "complete": "-",            # done, waiting to retire in order
+}
+
+PIPEVIEW_LEGEND = (
+    "F fetch  D decode  N rename  P dispatch  I issue  C complete  "
+    "R retire  |  . in-flight  w waiting  = executing  - done"
+)
+
+
+def lifecycles(events: Iterable[Event]) -> Dict[int, Dict[str, int]]:
+    """``seq -> {stage: first cycle}`` for every traced instruction."""
+    out: Dict[int, Dict[str, int]] = {}
+    for cycle, kind, seq, _info in events:
+        if seq < 0 or kind not in STAGE_CHARS:
+            continue
+        stages = out.setdefault(seq, {})
+        if kind not in stages:
+            stages[kind] = cycle
+    return out
+
+
+def render_pipeview(events: Iterable[Event], start: Optional[int] = None,
+                    stop: Optional[int] = None, width: int = 100,
+                    max_instrs: int = 48) -> str:
+    """Cycle x instruction Gantt over ``[start, stop)`` as one string."""
+    events = [ev for ev in events]
+    lives = lifecycles(events)
+    if not lives:
+        return "(no lifecycle events in trace window)"
+    all_cycles = [c for stages in lives.values() for c in stages.values()]
+    lo = min(all_cycles) if start is None else start
+    hi = (max(all_cycles) + 1) if stop is None else stop
+    span = max(hi - lo, 1)
+    # One column per cycle until the window outgrows the terminal, then
+    # fixed-size buckets; stage markers win over fillers within a bucket.
+    step = max(1, -(-span // width))
+    cols = -(-span // step)
+
+    rows: List[Tuple[int, Dict[str, int]]] = sorted(
+        (seq, stages) for seq, stages in lives.items()
+        if any(lo <= c < hi for c in stages.values()))
+    clipped = max(0, len(rows) - max_instrs)
+    if clipped:
+        rows = rows[:max_instrs]
+
+    lines = [
+        f"pipeview  cycles [{lo}, {hi})  step={step}  "
+        f"{len(rows)} instruction(s)" + (f"  (+{clipped} clipped)"
+                                         if clipped else ""),
+        PIPEVIEW_LEGEND,
+        "",
+    ]
+    for seq, stages in rows:
+        cells = [" "] * cols
+        ordered = sorted(((c, st) for st, c in stages.items()),
+                         key=lambda item: (item[0],
+                                           STAGE_ORDER.index(item[1])))
+        # Fillers first, markers after, so markers always survive.
+        for (c, st), nxt in zip(ordered, ordered[1:] + [None]):
+            filler = _SPAN_CHARS.get(st)
+            if filler and nxt is not None:
+                a = max(c + 1, lo)
+                b = min(nxt[0], hi)
+                for cyc in range(a, b):
+                    cells[(cyc - lo) // step] = filler
+        for c, st in ordered:
+            if lo <= c < hi:
+                cells[(c - lo) // step] = STAGE_CHARS[st]
+        lines.append(f"{seq:>8} |{''.join(cells)}|")
+    return "\n".join(lines)
+
+
+def chrome_trace(events: Iterable[Event],
+                 label: str = "repro") -> Dict[str, object]:
+    """Chrome trace-event JSON (load in ``about://tracing`` / Perfetto).
+
+    One back-end cycle maps to one microsecond of trace time.  Each
+    instruction becomes a thread (its seq is the tid) carrying complete
+    ("X") events for its pipeline spans; stalls and cache misses become
+    instant events and clock retunes a counter track.
+    """
+    events = [ev for ev in events]
+    lives = lifecycles(events)
+    trace_events: List[Dict[str, object]] = [{
+        "name": "process_name", "ph": "M", "pid": 0,
+        "args": {"name": label},
+    }]
+    for seq in sorted(lives):
+        stages = lives[seq]
+        ordered = sorted(((c, st) for st, c in stages.items()),
+                         key=lambda item: (item[0],
+                                           STAGE_ORDER.index(item[1])))
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": seq,
+            "args": {"name": f"instr {seq}"},
+        })
+        for (c, st), nxt in zip(ordered, ordered[1:] + [None]):
+            dur = (nxt[0] - c) if nxt is not None else 1
+            trace_events.append({
+                "name": st, "cat": "instr", "ph": "X",
+                "ts": c, "dur": max(dur, 1), "pid": 0, "tid": seq,
+            })
+    for cycle, kind, seq, info in events:
+        if kind == "stall":
+            trace_events.append({
+                "name": f"stall:{info}", "cat": "stall", "ph": "i",
+                "ts": cycle, "pid": 0, "tid": max(seq, 0), "s": "p",
+            })
+        elif kind == "mem":
+            trace_events.append({
+                "name": f"miss@L{info}", "cat": "mem", "ph": "i",
+                "ts": cycle, "pid": 0, "tid": max(seq, 0), "s": "p",
+            })
+        elif kind == "clock":
+            trace_events.append({
+                "name": "freq_mhz", "ph": "C", "ts": cycle, "pid": 0,
+                "args": {"mhz": info},
+            })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms",
+            "otherData": {"cycle_unit": "1 cycle = 1us of trace time"}}

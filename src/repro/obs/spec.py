@@ -1,0 +1,100 @@
+"""Declarative tracing spec: what the flight recorder should capture.
+
+:class:`TraceSpec` is the user-facing knob, carried on
+:class:`~repro.core.config.CoreConfig` the same way :class:`MemorySpec`
+is: a frozen dataclass that serializes through ``asdict`` and rebuilds
+from a plain dict, so it travels through cache keys, the campaign store
+and worker processes unchanged.  ``trace=None`` (the default) means *no
+recorder is ever constructed* — the cores then carry a single ``None``
+attribute and every emission site is one ``is not None`` branch, which
+is the whole no-op-path guarantee.
+
+This module deliberately imports nothing from ``repro.core`` so that
+``repro.core.config`` can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+
+#: Every event kind the recorder understands, in pipeline order where
+#: that is meaningful.  An empty ``events`` mask on the spec means "all
+#: of these".
+EVENT_KINDS: Tuple[str, ...] = (
+    "fetch", "decode", "rename", "dispatch", "issue", "complete",
+    "retire", "stall", "mem", "clock",
+)
+
+#: Stall-reason taxonomy carried in the ``info`` slot of ``stall``
+#: events.  DESIGN.md §7 documents where each one is emitted.
+STALL_REASONS: Tuple[str, ...] = (
+    "rob_full",     # dispatch blocked: reorder buffer at capacity
+    "iw_full",      # dispatch blocked: issue window at capacity
+    "lsq_full",     # dispatch blocked: load/store queue at capacity
+    "pool_full",    # rename blocked: flywheel checkpoint pool exhausted
+    "mshr_full",    # memory request blocked: all MSHRs busy
+    "fu_busy",      # ready instructions exist but no functional unit
+    "dep_wait",     # window occupied, nothing has ready operands
+)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Flight-recorder configuration.
+
+    ``buffer``
+        Ring-buffer capacity in events; the recorder keeps the *last*
+        ``buffer`` events and counts the rest as dropped.
+    ``events``
+        Event-kind mask, a subset of :data:`EVENT_KINDS`.  Empty means
+        record everything.
+    ``start`` / ``stop``
+        Back-end cycle window: events before ``start`` or at/after
+        ``stop`` are not recorded.  ``stop=0`` means "until the end".
+    """
+
+    buffer: int = 65536
+    events: Tuple[str, ...] = field(default_factory=tuple)
+    start: int = 0
+    stop: int = 0
+
+    def __post_init__(self) -> None:
+        # Dict payloads (store records, worker processes) carry the mask
+        # as a list; normalise so equality and hashing behave.
+        if isinstance(self.events, list):
+            object.__setattr__(self, "events", tuple(self.events))
+        if self.buffer < 1:
+            raise ConfigError(f"trace buffer must be >= 1, got {self.buffer}")
+        if self.start < 0:
+            raise ConfigError(f"trace start must be >= 0, got {self.start}")
+        if self.stop and self.stop <= self.start:
+            raise ConfigError(
+                f"trace stop ({self.stop}) must be 0 or > start ({self.start})")
+        for kind in self.events:
+            if kind not in EVENT_KINDS:
+                raise ConfigError(
+                    f"unknown trace event kind {kind!r}; "
+                    f"known: {', '.join(EVENT_KINDS)}")
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable tag for report lines."""
+        bits = [f"buf{self.buffer}"]
+        if self.start or self.stop:
+            bits.append(f"[{self.start}:{self.stop or ''}]")
+        if self.events:
+            bits.append("+".join(self.events))
+        return "trace(" + ",".join(bits) + ")"
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["events"] = list(self.events)   # JSON-stable, not a tuple
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TraceSpec":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})

@@ -200,15 +200,38 @@ class Session:
     def __init__(self,
                  store: Union[ResultStore, str, None] = None,
                  jobs: int = 1,
-                 timeout_s: Optional[float] = None):
+                 timeout_s: Optional[float] = None,
+                 trace_dir: Optional[str] = None):
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store)
         self.store = store
         self.jobs = max(1, jobs)
         self.timeout_s = timeout_s
+        #: When set, every result carrying flight-recorder data gets its
+        #: Chrome trace-event JSON written here (named by cache key) and
+        #: ``result.trace_path`` points at the file.
+        self.trace_dir = trace_dir
         self.hits = 0
         self.executed = 0
         self._cache: Dict[str, SimResult] = {}
+
+    def _export_trace(self, key: str, result: SimResult) -> SimResult:
+        """Write the Chrome trace artifact for a traced result, if asked."""
+        if (self.trace_dir is None or result.trace is None
+                or result.trace_path is not None):
+            return result
+        import json
+        import os
+
+        from repro.obs.render import chrome_trace
+
+        os.makedirs(self.trace_dir, exist_ok=True)
+        path = os.path.join(self.trace_dir, f"{key[:16]}.trace.json")
+        label = f"{result.kind}/{result.name}"
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(chrome_trace(result.trace["events"], label=label), fh)
+        result.trace_path = path
+        return result
 
     # ------------------------------------------------------ single runs
 
@@ -219,19 +242,23 @@ class Session:
         hit = self._cache.get(key)
         if hit is not None:
             self.hits += 1
-            return hit
+            return self._export_trace(key, hit)
         if self.store is not None:
             stored = self.store.get(key)
             if stored is not None:
                 self._cache[key] = stored
                 self.hits += 1
-                return stored
+                return self._export_trace(key, stored)
+        import time
+
+        t0 = time.perf_counter()
         result = run.execute()
+        elapsed_s = time.perf_counter() - t0
         if self.store is not None:
-            self.store.put(key, run, result)
+            self.store.put(key, run, result, elapsed_s=elapsed_s)
         self._cache[key] = result
         self.executed += 1
-        return result
+        return self._export_trace(key, result)
 
     def run_workload(self, kind: str, workload,
                      config: Optional[CoreConfig] = None,
@@ -256,6 +283,27 @@ class Session:
                               warmup=warmup, seed=seed, mem_scale=mem_scale)
         self.executed += 1
         return result
+
+    def profile(self, spec: SpecLike,
+                out: Optional[str] = None) -> Dict[str, object]:
+        """Self-profile one spec: wall time bucketed per engine phase.
+
+        Runs the spec's machine uncached (profiling wraps the engine's
+        stage functions, so a memoized result would defeat the point)
+        and returns the :func:`repro.obs.profiler.profile_machine`
+        report; ``out`` additionally writes it as JSON.
+        """
+        from repro.obs.profiler import profile_machine, write_profile
+
+        run = _as_run_spec(spec)
+        report = profile_machine(
+            run.kind, run.bench, config=run.config, fly=run.fly,
+            clock=run.clock, instructions=run.instructions,
+            warmup=run.warmup, seed=run.seed, mem_scale=run.mem_scale)
+        if out is not None:
+            write_profile(report, out)
+        self.executed += 1
+        return report
 
     # ----------------------------------------------------------- batches
 
@@ -288,6 +336,8 @@ class Session:
                                          else timeout_s),
                               progress=progress)
         self._cache.update(report.results)
+        for key, result in report.results.items():
+            self._export_trace(key, result)
         self.hits += report.hits
         self.executed += report.executed
         return report
@@ -354,6 +404,7 @@ class Session:
                 # Memoize and count here, on the campaign thread, so an
                 # abandoned consumer loses events but never results.
                 self._cache[spec.cache_key()] = result
+                self._export_trace(spec.cache_key(), result)
                 if source == "hit":
                     self.hits += 1
                 else:

@@ -418,3 +418,72 @@ class TestCampaignCli:
         assert self.run_cli("run", "--experiments", "fig99",
                             "--store", str(tmp_path)) == 1
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestObservabilityOnCampaign:
+    """PR-6 satellites: elapsed wall time in store records, and the
+    trace axis participating in content addressing."""
+
+    def test_trace_axis_changes_cache_key(self):
+        from repro.obs import TraceSpec
+
+        base = spec()
+        traced = spec(config=CoreConfig(trace=TraceSpec(buffer=1024)))
+        other = spec(config=CoreConfig(trace=TraceSpec(buffer=2048)))
+        assert len({base.cache_key(), traced.cache_key(),
+                    other.cache_key()}) == 3
+
+    def test_untraced_payload_has_no_trace_key(self):
+        from repro.obs import TraceSpec
+
+        # Payload byte-compat with pre-TraceSpec records: trace=None is
+        # dropped, exactly like mem=None.
+        payload = spec().payload()
+        assert "trace" not in payload["config"]
+        traced = spec(config=CoreConfig(trace=TraceSpec(buffer=512)))
+        assert traced.payload()["config"]["trace"]["buffer"] == 512
+
+    def test_executor_records_elapsed_wall_time(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_campaign([spec()], store=store)
+        record = next(store.records())
+        assert record["elapsed_s"] > 0
+
+    def test_parallel_executor_records_elapsed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_campaign([spec(seed=1), spec(seed=2)], store=store, jobs=2)
+        for record in store.records():
+            assert record["elapsed_s"] > 0
+
+    def test_ls_summary_surfaces_elapsed(self, tmp_path):
+        from repro.campaign.__main__ import _ls_line, _ls_summary
+
+        store = ResultStore(tmp_path)
+        run_campaign([spec()], store=store)
+        summary = _ls_summary(next(store.records()))
+        assert summary["elapsed_s"] > 0
+        assert "elapsed=" in _ls_line(summary)
+
+    def test_csv_export_has_elapsed_column(self, tmp_path, capsys):
+        from repro.campaign.__main__ import main as campaign_main
+
+        store_dir = tmp_path / "store"
+        run_campaign([spec()], store=ResultStore(store_dir))
+        out_csv = tmp_path / "out.csv"
+        assert campaign_main(["export", "--store", str(store_dir),
+                              "--csv", str(out_csv)]) == 0
+        header, row = out_csv.read_text().splitlines()[:2]
+        idx = header.split(",").index("elapsed_s")
+        assert float(row.split(",")[idx]) > 0
+
+    def test_traced_result_survives_worker_process(self, tmp_path):
+        from repro.obs import TraceSpec
+
+        traced = spec(config=CoreConfig(trace=TraceSpec(buffer=2048)))
+        store = ResultStore(tmp_path)
+        # jobs=2 with a single miss still uses the pool when timeout set;
+        # force the parallel path to cover pickling of traced results.
+        report = run_campaign([traced], store=store, jobs=2, timeout_s=120)
+        result = report.result_for(traced)
+        assert result.trace is not None
+        assert result.trace["events"]

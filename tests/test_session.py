@@ -408,3 +408,78 @@ class TestPublicSurface:
         event = SessionEvent(event="plan", total=3)
         with pytest.raises(Exception):
             event.total = 4
+
+
+# -------------------------------------------- serialization round-trips
+
+
+class TestResultRoundTrips:
+    """PR-6 coverage: every per-run observability payload must survive
+    the store (worker serialization is the same code path)."""
+
+    def _round_trip(self, spec, tmp_path):
+        cold = Session(store=ResultStore(tmp_path))
+        fresh = cold.run(spec)
+        warm = Session(store=ResultStore(tmp_path))
+        stored = warm.run(spec)
+        assert (warm.hits, warm.executed) == (1, 0)
+        return fresh, stored
+
+    def test_freq_trace_and_retunes_round_trip(self, tmp_path):
+        spec = ms(bench="gcc", instructions=4000, warmup=1000,
+                  clock=ClockPlan(governor=GovernorConfig(
+                      name="occupancy", interval=200)))
+        fresh, stored = self._round_trip(spec, tmp_path)
+        assert fresh.stats.freq_trace          # the initial point at least
+        assert stored.stats.freq_trace == fresh.stats.freq_trace
+        assert stored.stats.dvfs_retunes == fresh.stats.dvfs_retunes
+
+    def test_cache_stats_round_trip(self, tmp_path):
+        from repro.mem import MemorySpec
+
+        spec = ms(config=CoreConfig(mem=MemorySpec(mshrs=4)))
+        fresh, stored = self._round_trip(spec, tmp_path)
+        assert fresh.stats.cache_stats.get("mshr") is not None
+        assert stored.stats.cache_stats == fresh.stats.cache_stats
+
+    def test_metrics_snapshot_round_trip(self, tmp_path):
+        fresh, stored = self._round_trip(ms(), tmp_path)
+        assert fresh.stats.metrics["engine.committed"] >= N
+        assert stored.stats.metrics == fresh.stats.metrics
+
+    def test_trace_round_trips_and_artifact_written(self, tmp_path):
+        import json
+
+        from repro.obs import TraceSpec
+
+        spec = ms(config=CoreConfig(trace=TraceSpec(buffer=4096)))
+        store_dir, trace_dir = tmp_path / "store", tmp_path / "traces"
+        cold = Session(store=ResultStore(store_dir),
+                       trace_dir=str(trace_dir))
+        fresh = cold.run(spec)
+        assert fresh.trace is not None and fresh.trace["events"]
+        assert fresh.trace_path is not None
+        payload = json.loads(
+            (trace_dir / f"{spec.cache_key()[:16]}.trace.json").read_text())
+        assert payload["traceEvents"]
+        # Warm session: trace data comes back from the store and the
+        # artifact is re-exported for the new session's trace_dir.
+        warm = Session(store=ResultStore(store_dir),
+                       trace_dir=str(tmp_path / "traces2"))
+        stored = warm.run(spec)
+        assert stored.trace["events"] == fresh.trace["events"]
+        assert stored.trace_path is not None
+
+    def test_untraced_spec_writes_no_artifact(self, tmp_path):
+        session = Session(trace_dir=str(tmp_path / "traces"))
+        result = session.run(ms())
+        assert result.trace is None and result.trace_path is None
+        assert not (tmp_path / "traces").exists()
+
+    def test_session_profile_reports_phases(self):
+        from repro.obs.profiler import PHASES
+
+        session = Session()
+        report = session.profile(ms())
+        assert set(report["profile"]["phases_s"]) == set(PHASES)
+        assert session.executed == 1
