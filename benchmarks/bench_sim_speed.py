@@ -26,6 +26,9 @@ import json
 import sys
 import time
 
+import pytest
+
+from repro.core.engine.turbo import HAVE_NUMPY
 from repro.core.registry import kind_names
 from repro.session import Session
 from repro.workloads import generate_program, get_profile
@@ -64,6 +67,17 @@ def test_baseline_sim_speed(benchmark):
     assert result.stats.committed >= 4000
 
 
+@pytest.mark.skipif(not HAVE_NUMPY,
+                    reason="turbo extra (NumPy) not installed")
+def test_baseline_sim_speed_turbo(benchmark):
+    from repro.core.config import CoreConfig
+
+    config = CoreConfig(engine="turbo")
+    result = benchmark(lambda: _run("baseline", "smoke", 4000, 1000,
+                                    config=config))
+    assert result.stats.committed >= 4000
+
+
 def test_flywheel_sim_speed(benchmark):
     result = benchmark(lambda: _run("flywheel", "smoke", 4000, 1000))
     assert result.stats.committed >= 4000
@@ -77,29 +91,49 @@ def test_pipelined_wakeup_sim_speed(benchmark):
 def measure(benchmarks=BENCH_BENCHMARKS,
             instructions=BENCH_INSTRUCTIONS,
             warmup=BENCH_WARMUP,
-            repeats=BENCH_REPEATS) -> dict:
-    """Best-of-``repeats`` cycles/sec and instrs/sec per kind/benchmark."""
+            repeats=BENCH_REPEATS,
+            engines=("legacy", "turbo")) -> dict:
+    """Best-of-``repeats`` cycles/sec and instrs/sec per kind/benchmark.
+
+    ``engines`` is the backend axis: the legacy engine keeps the bare
+    series name (``baseline/gcc``) so the cycles/sec trajectory across
+    PRs stays unbroken, the turbo engine appends ``@turbo``
+    (``baseline/gcc@turbo``). When both run, the report also carries a
+    ``turbo_speedup`` table (turbo / legacy cycles-per-sec per series).
+    Turbo repeats share one instruction pool (by design — the pool is
+    cross-run state), so best-of-repeats measures the warm path.
+    """
+    from repro.core.config import CoreConfig
+
     programs = {b: generate_program(get_profile(b)) for b in benchmarks}
     series = {}
     for kind in kind_names():
         for bench in benchmarks:
-            best = float("inf")
-            result = None
-            for _ in range(repeats):
-                t0 = time.perf_counter()
-                result = _run(kind, programs[bench], instructions, warmup)
-                best = min(best, time.perf_counter() - t0)
-            cycles = result.stats.total_be_cycles
-            series[f"{kind}/{bench}"] = {
-                "seconds": round(best, 4),
-                "cycles": cycles,
-                "cycles_per_sec": round(cycles / best),
-                "instrs_per_sec": round(result.stats.committed / best),
-            }
+            for engine in engines:
+                config = (None if engine == "legacy"
+                          else CoreConfig(engine=engine))
+                best = float("inf")
+                result = None
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    result = _run(kind, programs[bench], instructions,
+                                  warmup, config=config)
+                    best = min(best, time.perf_counter() - t0)
+                cycles = result.stats.total_be_cycles
+                name = f"{kind}/{bench}"
+                if engine != "legacy":
+                    name += f"@{engine}"
+                series[name] = {
+                    "seconds": round(best, 4),
+                    "cycles": cycles,
+                    "cycles_per_sec": round(cycles / best),
+                    "instrs_per_sec": round(result.stats.committed / best),
+                }
     series.update(_measure_membound(repeats))
-    return {
+    report = {
         "protocol": {
             "benchmarks": list(benchmarks),
+            "engines": list(engines),
             "instructions": instructions,
             "warmup": warmup,
             "repeats": repeats,
@@ -108,6 +142,22 @@ def measure(benchmarks=BENCH_BENCHMARKS,
         "python": sys.version.split()[0],
         "series": series,
     }
+    speedups = turbo_speedups(series)
+    if speedups:
+        report["turbo_speedup"] = speedups
+    return report
+
+
+def turbo_speedups(series: dict) -> dict:
+    """``base series -> turbo/legacy cycles-per-sec ratio`` table."""
+    speedups = {}
+    for name, row in series.items():
+        if name.endswith("@turbo"):
+            base = series.get(name[: -len("@turbo")])
+            if base and base.get("cycles_per_sec"):
+                speedups[name[: -len("@turbo")]] = round(
+                    row["cycles_per_sec"] / base["cycles_per_sec"], 2)
+    return speedups
 
 
 def _measure_membound(repeats: int) -> dict:
@@ -180,6 +230,12 @@ def main(argv=None) -> int:
                     "machine-readable report.")
     parser.add_argument("--out", default="BENCH_core.json",
                         help="output path (default: ./BENCH_core.json)")
+    parser.add_argument("--engine", choices=("legacy", "turbo", "both"),
+                        default="both",
+                        help="execution backend(s) to measure; 'both' "
+                             "(default) emits paired series "
+                             "(kind/bench and kind/bench@turbo) plus a "
+                             "turbo speedup table")
     parser.add_argument("--repeats", type=int, default=BENCH_REPEATS)
     parser.add_argument("--against", default=None, metavar="PATH",
                         help="committed report to diff the fresh "
@@ -211,13 +267,27 @@ def main(argv=None) -> int:
             if args.fail_on_regression is not None:
                 return 1
 
-    report = measure(repeats=args.repeats)
+    engines = (("legacy", "turbo") if args.engine == "both"
+               else (args.engine,))
+    if "turbo" in engines and not HAVE_NUMPY:
+        if args.engine == "turbo":
+            print("--engine turbo requires NumPy "
+                  "(pip install 'repro[turbo]')", file=sys.stderr)
+            return 2
+        # Default 'both' degrades gracefully so the legacy trajectory
+        # is still measurable on a dependency-free checkout.
+        print("NumPy not installed: skipping @turbo series",
+              file=sys.stderr)
+        engines = ("legacy",)
+    report = measure(repeats=args.repeats, engines=engines)
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
     for name, row in sorted(report["series"].items()):
         print(f"{name:28s} {row['cycles_per_sec']:>9,} cycles/s "
               f"{row['instrs_per_sec']:>9,} instrs/s")
+    for name, ratio in sorted(report.get("turbo_speedup", {}).items()):
+        print(f"{name:28s} turbo speedup {ratio:.2f}x")
     print(f"wrote {args.out}")
 
     if args.profile is not None:
@@ -239,7 +309,13 @@ def main(argv=None) -> int:
         rows = compare(report, committed)
         print_comparison(rows)
         if args.fail_on_regression is not None:
+            # The gate covers the legacy series only: their trajectory is
+            # the simulator-cost contract. ``@turbo`` series are tracked
+            # (and cannot silently vanish — the lost check below covers
+            # every committed series) but cross-machine turbo ratios are
+            # informative, not gating.
             bad = [r for r in rows if r["delta_pct"] is not None
+                   and "@" not in r["series"]
                    and r["delta_pct"] < -args.fail_on_regression]
             # A committed series with no fresh measurement is lost perf
             # tracking (renamed/dropped kind), not a pass.

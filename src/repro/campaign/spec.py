@@ -156,6 +156,14 @@ class RunSpec:
             # Same contract for the flight recorder: an untraced run's
             # payload is byte-identical to pre-TraceSpec payloads.
             del config["trace"]
+        if config.get("engine", "legacy") == "legacy":
+            # And for the engine backend: a legacy-engine run's payload
+            # is byte-identical to pre-turbo payloads, so every pinned
+            # content address — and every warm store — survives the
+            # engine axis. (Turbo runs hash distinctly on purpose: the
+            # backend is supposed to be bit-identical, but a store
+            # entry must record which engine actually produced it.)
+            config.pop("engine", None)
         return {
             "kind": self.kind,
             "bench": self.bench,
@@ -186,8 +194,8 @@ class RunSpec:
         out: Dict[str, object] = {}
         base = asdict(default_config(self.kind))
         for name, value in asdict(self.config).items():
-            if name in ("mem", "trace"):
-                continue  # rendered compactly by ``label`` (mem=/trace=)
+            if name in ("mem", "trace", "engine"):
+                continue  # rendered compactly by ``label`` (mem=/trace=/engine=)
             if value != base[name]:
                 out[name] = value
         if self.fly is not None:
@@ -213,6 +221,8 @@ class RunSpec:
             bits.append(f"mem={self.config.mem.label}")
         if self.config.trace is not None:
             bits.append(self.config.trace.label)
+        if self.config.engine != "legacy":
+            bits.append(f"engine={self.config.engine}")
         if self.seed is not None:
             bits.append(f"seed={self.seed}")
         if self.mem_scale != 1.0:

@@ -115,6 +115,15 @@ class CoreConfig(_CacheKeyMixin):
     #: untouched (DESIGN.md §7).
     trace: Optional[TraceSpec] = None
 
+    #: Execution-engine backend. ``"legacy"`` is the per-object tick
+    #: loop every golden number was pinned on; ``"turbo"`` selects the
+    #: batched struct-of-arrays engine (``repro.core.engine.turbo``),
+    #: which is required to be bit-identical on every counter — the
+    #: engine axis picks an implementation, never a machine (DESIGN.md
+    #: §8). The key is elided from spec payloads when default, so all
+    #: historical content addresses are unchanged.
+    engine: str = "legacy"
+
     def __post_init__(self) -> None:
         # Rebuild specs handed over as plain payload dicts (store
         # records, RunSpec.from_dict), mirroring ClockPlan.governor.
@@ -131,6 +140,18 @@ class CoreConfig(_CacheKeyMixin):
             raise ConfigError("issue window smaller than issue width")
         if self.deadlock_window < 0:
             raise ConfigError("deadlock_window must be >= 0 (0 = default)")
+        if self.engine not in ("legacy", "turbo"):
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; expected 'legacy' or "
+                "'turbo'")
+        if self.engine == "turbo":
+            # Deferred import: the turbo package guards its NumPy
+            # dependency and raises the canonical ConfigError when the
+            # extra is not installed. Checking at config construction
+            # fails the run at spec time, not mid-campaign.
+            from repro.core.engine.turbo import require_numpy
+
+            require_numpy()
 
     def with_variant(self, **kw) -> "CoreConfig":
         """Return a copy with some fields replaced (pipeline variants)."""

@@ -263,6 +263,11 @@ class FlywheelCore:
 
     def run(self, max_instructions: int, warmup: int = 0) -> SimStats:
         """Simulate until ``max_instructions`` commit after warmup."""
+        if self.config.engine == "turbo":
+            from repro.core.engine.turbo.fly import run_turbo_fly
+
+            return run_turbo_fly(self, max_instructions, warmup,
+                                 prof=getattr(self, "_turbo_prof", None))
         if warmup:
             self._functional_warmup(warmup)
             if self.dvfs is not None:

@@ -106,7 +106,12 @@ def _cmd_metrics(args) -> int:
 
 
 def _cmd_profile(args) -> int:
-    report = profile_machine(args.kind, args.bench,
+    config = None
+    if args.engine != "legacy":
+        from repro.core.sim import default_config
+
+        config = default_config(args.kind).with_variant(engine=args.engine)
+    report = profile_machine(args.kind, args.bench, config=config,
                              instructions=args.instructions,
                              warmup=args.warmup, seed=args.seed)
     print(format_profile(report))
@@ -149,6 +154,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     profile = subs.add_parser("profile",
                               help="wall-time per engine phase")
     _add_machine_args(profile)
+    profile.add_argument("--engine", choices=("legacy", "turbo"),
+                         default="legacy",
+                         help="execution backend to profile (turbo "
+                              "buckets are pool/loop)")
     profile.add_argument("--out", default="",
                          help="also write the JSON report here")
     profile.set_defaults(fn=_cmd_profile)

@@ -39,12 +39,22 @@ from typing import Dict, Optional
 
 PHASES = ("frontend", "rename", "dispatch", "schedule", "backend")
 
+#: The turbo backend's buckets: it has no per-stage boundaries to clock
+#: (the whole point is one fused loop), so it reports the two phases it
+#: actually has — building/warming the instruction pool, and the loop.
+TURBO_PHASES = ("pool", "loop")
+
 
 class PhaseProfile:
-    """Accumulated wall seconds per engine phase of one run."""
+    """Accumulated wall seconds per engine phase of one run.
 
-    def __init__(self):
-        self.seconds: Dict[str, float] = {ph: 0.0 for ph in PHASES}
+    ``phases`` is per-instance: the legacy engines bucket by pipeline
+    stage (:data:`PHASES`), the turbo backend by :data:`TURBO_PHASES`.
+    """
+
+    def __init__(self, phases=PHASES):
+        self.phases = tuple(phases)
+        self.seconds: Dict[str, float] = {ph: 0.0 for ph in self.phases}
         self.ticks = 0
         self.warmup_s = 0.0
         self.run_s = 0.0
@@ -116,12 +126,21 @@ def _wrap_domain_tick(fn, seconds, bucket, pc=perf_counter):
 def install(core) -> PhaseProfile:
     """Attach phase timing to a core; must run before ``core.run()``.
 
-    Dispatches on the attribute contract of the built-in kinds: a
-    single-clock core exposes ``step``; a dual-clock core exposes
-    ``_fe_tick``/``_be_tick`` (rebound by its run loop from ``self``, so
-    instance-attribute shadows take effect).  Raises ``TypeError`` for
-    cores exposing neither.
+    Dispatches on the engine first: a core configured with
+    ``engine="turbo"`` never calls ``step``/``_fe_tick``/``_be_tick``
+    (the whole run is one fused loop), so the profile is handed to the
+    turbo entry point via ``core._turbo_prof``, which stamps the
+    ``pool``/``loop`` buckets itself.  Legacy engines dispatch on the
+    attribute contract of the built-in kinds: a single-clock core
+    exposes ``step``; a dual-clock core exposes ``_fe_tick``/``_be_tick``
+    (rebound by its run loop from ``self``, so instance-attribute
+    shadows take effect).  Raises ``TypeError`` for cores exposing
+    neither.
     """
+    if getattr(getattr(core, "config", None), "engine", "legacy") == "turbo":
+        prof = PhaseProfile(TURBO_PHASES)
+        core._turbo_prof = prof
+        return prof
     prof = PhaseProfile()
     if hasattr(core, "_fe_tick") and hasattr(core, "_be_tick"):
         core._fe_tick = _wrap_domain_tick(core._fe_tick, prof.seconds,
@@ -212,7 +231,9 @@ def format_profile(report: Dict[str, object]) -> str:
         f"({report['cycles_per_sec']:.0f} cyc/s)",
         f"  warmup: {prof['warmup_s']:.3f}s",
     ]
-    for ph in PHASES:
+    # Iterate the report's own buckets (legacy stage phases or the turbo
+    # backend's pool/loop), not the module-level tuple.
+    for ph in prof["phases_s"]:
         s = prof["phases_s"][ph]
         frac = prof["phase_frac"][ph]
         bar = "#" * int(round(frac * 40))

@@ -87,6 +87,13 @@ class MachineSpec:
     instructions: int = DEFAULT_INSTRUCTIONS
     warmup: int = DEFAULT_WARMUP
     mem_scale: float = 1.0
+    #: Constructor sugar for the engine-backend axis: ``engine="turbo"``
+    #: folds into ``config.engine`` during normalization (overriding any
+    #: value the config carries) and resets to ``None``, so
+    #: ``MachineSpec("baseline", "gcc", engine="turbo")`` and the
+    #: spelled-out ``config=CoreConfig(engine="turbo")`` are the same
+    #: frozen spec — same equality, same cache key.
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         # RunSpec owns validation + normalization; copy the normalized
@@ -96,6 +103,13 @@ class MachineSpec:
                       config=self.config, fly=self.fly, seed=self.seed,
                       instructions=self.instructions, warmup=self.warmup,
                       mem_scale=self.mem_scale)
+        if self.engine is not None and self.engine != run.config.engine:
+            run = RunSpec(kind=self.kind, bench=self.bench, clock=self.clock,
+                          config=run.config.with_variant(engine=self.engine),
+                          fly=self.fly, seed=self.seed,
+                          instructions=self.instructions, warmup=self.warmup,
+                          mem_scale=self.mem_scale)
+        object.__setattr__(self, "engine", None)
         for axis in ("clock", "config", "fly", "mem_scale"):
             object.__setattr__(self, axis, getattr(run, axis))
         object.__setattr__(self, "_run", run)

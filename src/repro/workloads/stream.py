@@ -32,6 +32,10 @@ class InstructionStream:
         if not program.finalized:
             raise WorkloadError("program must be finalized before streaming")
         self.program = program
+        #: Stream-level seed (not the program's): recorded so pooled
+        #: replays (the turbo engine's SoA precompute) can construct an
+        #: identical walker from scratch.
+        self.seed = seed
         self._rng = random.Random((program.seed << 16) ^ seed)
         self._loop_counters: Dict[int, int] = {}
         self._mem_cursors: Dict[int, int] = {}

@@ -24,9 +24,12 @@ transition (create, replay, divergence, SRT swaps).
 
 import pytest
 
-from repro.core.config import ClockPlan
+from repro.core.config import ClockPlan, CoreConfig
+from repro.core.engine.turbo import HAVE_NUMPY
 from repro.core.sim import run_baseline, run_flywheel, run_pipelined_wakeup
 from repro.dvfs import GovernorConfig
+from repro.mem import MemorySpec
+from repro.obs.metrics import MetricRegistry, register_core_sources
 from repro.session import MachineSpec, Session
 
 #: kind/bench -> pinned counters (captured before the engine refactor;
@@ -155,3 +158,79 @@ def test_deprecated_wrappers_match_session_byte_for_byte(key):
     via_session = _result(kind, bench)
     assert via_wrapper.to_dict() == via_session.to_dict()
     assert via_wrapper.core is not None     # wrappers keep the live core
+
+
+# --------------------------------------------------------------------------
+# Engine-backend golden equivalence (PR 7). The turbo backend is an
+# implementation of the same machine, never a different machine: every
+# observable — SimStats, the cache hierarchy's counters, the full metric
+# registry snapshot — must be byte-identical to the legacy engine.
+# Skipped (not failed) where the repro[turbo] extra is not installed:
+# CI runs the legacy matrix dependency-free and a dedicated turbo job
+# with NumPy.
+
+turbo_required = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="turbo extra (NumPy) not installed")
+
+
+def _full_observables(result):
+    """(stats dict, cache stats, metric snapshot) for one live-core run."""
+    registry = MetricRegistry()
+    register_core_sources(registry, result.core)
+    return (result.stats.to_dict(),
+            result.core.hierarchy.stats_dict(),
+            registry.snapshot())
+
+
+def _engine_pair(kind, bench, config_kw=None, clock=None):
+    out = []
+    for engine in ("legacy", "turbo"):
+        config = CoreConfig(engine=engine, **(config_kw or {}))
+        out.append(_full_observables(_SESSION.run_workload(
+            kind, bench, config=config, clock=clock,
+            max_instructions=8000, warmup=3000)))
+    return out
+
+
+@turbo_required
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_turbo_engine_reproduces_golden_pins(key):
+    """engine="turbo" must land exactly on the pre-turbo pinned counters."""
+    kind, bench = key.split("/")
+    spec = MachineSpec(kind, bench, engine="turbo",
+                       instructions=8000, warmup=3000)
+    assert _pin_counters(_SESSION.run(spec).stats, key) == GOLDEN[key]
+
+
+@turbo_required
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_turbo_engine_full_observable_parity(key):
+    """Both backends: identical stats, cache stats and metric snapshot."""
+    kind, bench = key.split("/")
+    legacy, turbo = _engine_pair(kind, bench)
+    assert legacy == turbo
+
+
+@pytest.mark.parametrize("gov", ("static", "occupancy", "ipc_ladder",
+                                 "energy_budget"))
+@turbo_required
+@pytest.mark.parametrize("kind", sorted(_WRAPPERS))
+def test_turbo_parity_under_governors(kind, gov):
+    """The DVFS interval hook fires at the same cycles under both engines
+
+    (the turbo skip-ahead must never jump across an interval boundary),
+    so every governor decision — and therefore every counter and the
+    piecewise ``sim_time_ps`` — is reproduced exactly.
+    """
+    clock = ClockPlan(governor=GovernorConfig(name=gov, interval=1000))
+    legacy, turbo = _engine_pair(kind, "gcc", clock=clock)
+    assert legacy == turbo
+
+
+@turbo_required
+@pytest.mark.parametrize("kind", sorted(_WRAPPERS))
+def test_turbo_parity_with_mshr_memory_spec(kind):
+    """The general MemorySpec miss path (bounded MSHRs) is engine-neutral."""
+    legacy, turbo = _engine_pair(kind, "gcc",
+                                 config_kw=dict(mem=MemorySpec(mshrs=4)))
+    assert legacy == turbo

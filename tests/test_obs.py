@@ -18,10 +18,14 @@ from repro.obs import (
     chrome_trace,
     render_pipeview,
 )
+from repro.core.engine.turbo import HAVE_NUMPY
 from repro.obs.profiler import PHASES, profile_machine
 
 #: Tiny budgets: every simulated run in this file finishes in ~100ms.
 N, W = 1500, 500
+
+turbo_required = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="turbo extra (NumPy) not installed")
 
 ALL_KINDS = ("baseline", "pipelined_wakeup", "flywheel")
 
@@ -290,6 +294,35 @@ class TestProfiler:
                                  warmup=W)
         assert report["cycles"] == plain.stats.total_be_cycles
         assert report["instructions"] == N
+
+    @turbo_required
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_profile_turbo_engine_buckets(self, kind):
+        # The turbo backend has no stage ticks to wrap; its profile must
+        # report the pool/loop buckets with real (non-zero) loop time,
+        # not a legacy-shaped report of silent zeros.
+        from repro.core.sim import default_config
+        from repro.obs.profiler import TURBO_PHASES
+
+        config = default_config(kind).with_variant(engine="turbo")
+        report = profile_machine(kind, "smoke", config=config,
+                                 instructions=N, warmup=W)
+        prof = report["profile"]
+        assert set(prof["phases_s"]) == set(TURBO_PHASES)
+        assert prof["phases_s"]["loop"] > 0
+        assert prof["ticks"] > 0
+        assert report["cycles"] > 0
+
+    @turbo_required
+    def test_profile_turbo_matches_plain_turbo_run(self):
+        from repro.core.sim import default_config
+
+        config = default_config("baseline").with_variant(engine="turbo")
+        plain = execute_kind("baseline", "smoke", config=config,
+                             max_instructions=N, warmup=W)
+        report = profile_machine("baseline", "smoke", config=config,
+                                 instructions=N, warmup=W)
+        assert report["cycles"] == plain.stats.total_be_cycles
 
 
 # -------------------------------------------------------- deadlock snapshot

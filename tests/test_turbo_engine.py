@@ -1,0 +1,98 @@
+"""Turbo-backend edge cases: skip-ahead vs. every observer (PR 7).
+
+The turbo loop's replay skip-ahead bulk-advances the back-end clock
+across provably-idle spans. Three observers make a naive jump wrong,
+and each gets a pin here against the legacy engine:
+
+* the DVFS governor's interval hook must fire at exactly the cycles it
+  would have fired tick-by-tick (a jumped interval shifts every later
+  freq-trace point);
+* a flight-recorder window whose ``start`` falls inside a jumped span
+  must open at the same event as under the legacy engine;
+* the deadlock watchdog must trip at the same cycle with the same
+  snapshot even when the no-commit window elapses inside a batch.
+
+The NumPy gate for the ``repro[turbo]`` extra is pinned at the bottom:
+absence must surface as the canonical ConfigError at spec construction,
+never as a deep ImportError.
+"""
+
+import pytest
+
+from repro.core.config import ClockPlan, CoreConfig
+from repro.core.engine.turbo import HAVE_NUMPY
+from repro.core.sim import execute_kind
+from repro.dvfs import GovernorConfig
+from repro.errors import ConfigError, DeadlockError
+from repro.obs.spec import TraceSpec
+
+#: The edge-case pins need to *run* the turbo backend; the gate tests
+#: below do not (they exercise exactly the NumPy-absent path).
+turbo_required = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="turbo extra (NumPy) not installed")
+
+
+def _pair(kind, bench, n=8000, w=3000, clock=None, **cfg_kw):
+    out = []
+    for engine in ("legacy", "turbo"):
+        config = CoreConfig(engine=engine, **cfg_kw)
+        out.append(execute_kind(kind, bench, config=config, clock=clock,
+                                max_instructions=n, warmup=w))
+    return out
+
+
+@turbo_required
+class TestSkipAheadEdges:
+    @pytest.mark.parametrize("gov", ("occupancy", "ipc_ladder"))
+    def test_jump_never_crosses_a_dvfs_interval(self, gov):
+        # interval=200 is far shorter than typical replay idle spans, so
+        # a skip-ahead that ignored ``dvfs.next_check`` would jump check
+        # cycles and shift the whole frequency trace.
+        clock = ClockPlan(governor=GovernorConfig(name=gov, interval=200))
+        legacy, turbo = _pair("flywheel", "gcc", clock=clock)
+        assert legacy.stats.freq_trace == turbo.stats.freq_trace
+        assert legacy.stats.dvfs_retunes == turbo.stats.dvfs_retunes
+        assert legacy.stats.to_dict() == turbo.stats.to_dict()
+
+    @pytest.mark.parametrize("start", (2500, 5001, 9000))
+    def test_trace_window_opening_mid_jump(self, start):
+        # Recorder windows are [start, stop) in back-end cycles. Placing
+        # start at arbitrary odd points guarantees some windows open
+        # inside a replay idle span; the serialized ring must still be
+        # byte-identical (same first event, same drop counts).
+        spec = TraceSpec(buffer=1 << 16, start=start, stop=start + 1500)
+        legacy, turbo = _pair("flywheel", "gcc", trace=spec)
+        assert legacy.trace == turbo.trace
+        assert legacy.stats.to_dict() == turbo.stats.to_dict()
+
+    @pytest.mark.parametrize("window,mode", ((96, "CREATE"),
+                                             (128, "EXECUTE")))
+    def test_watchdog_arms_inside_a_batch(self, window, mode):
+        # window=128 elapses mid-replay (EXECUTE mode) — inside the span
+        # the turbo loop processes as a batch — so the bulk advance must
+        # stop at the trip cycle, not sail past it. Both engines must
+        # fail at the same cycle with the same structured snapshot.
+        trips = []
+        for engine in ("legacy", "turbo"):
+            config = CoreConfig(engine=engine, deadlock_window=window)
+            with pytest.raises(DeadlockError) as err:
+                execute_kind("flywheel", "gcc", config=config,
+                             max_instructions=8000, warmup=3000)
+            assert mode in str(err.value)
+            trips.append((str(err.value), err.value.snapshot))
+        assert trips[0] == trips[1]
+
+
+class TestNumpyGate:
+    def test_missing_numpy_is_a_config_error(self, monkeypatch):
+        # Simulate the extra not being installed: the spec must fail at
+        # construction with the actionable install hint.
+        import repro.core.engine.turbo as turbo_pkg
+
+        monkeypatch.setattr(turbo_pkg, "HAVE_NUMPY", False)
+        with pytest.raises(ConfigError, match=r"repro\[turbo\]"):
+            CoreConfig(engine="turbo")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown engine"):
+            CoreConfig(engine="warp")
