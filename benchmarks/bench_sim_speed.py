@@ -15,7 +15,15 @@ The CLI also tracks regressions perun-style: ``--against PATH`` compares
 the fresh measurement to a committed report and prints a per-kind
 delta table; ``--fail-on-regression PCT`` turns any slowdown beyond PCT
 percent into a non-zero exit for CI (omit it for report-only mode —
-cross-machine comparisons are informative, not gating).
+cross-machine comparisons are informative, not gating). The gate covers
+the paired ``@turbo`` series and the turbo_speedup table too, but
+report-only: turbo warnings never fail the run, so NumPy-less runners
+(which skip the turbo series entirely) stay green.
+
+Every measurement also appends a schema-versioned snapshot (series,
+turbo speedups, code fingerprint, timestamp — injected here, at the CLI
+boundary) to ``BENCH_history.jsonl``; ``python -m repro.perf check``
+runs the statistical degradation detectors over that history.
 
 Reference points measured on the PR-1 tree (same protocol, same
 container class) before the engine refactor:
@@ -192,6 +200,26 @@ def _measure_membound(repeats: int) -> dict:
     return series
 
 
+def compare_speedups(fresh: dict, committed: dict) -> list:
+    """Delta rows of the ``turbo_speedup`` tables (fresh vs committed).
+
+    Same shape as :func:`compare` rows, but over the turbo/legacy
+    ratios: a quietly shrinking speedup is visible even when both raw
+    series move together. Series present on one side only carry a None
+    delta.
+    """
+    fresh_table = fresh.get("turbo_speedup", {})
+    committed_table = committed.get("turbo_speedup", {})
+    rows = []
+    for name in sorted(set(fresh_table) | set(committed_table)):
+        new = fresh_table.get(name)
+        old = committed_table.get(name)
+        delta = ((new - old) / old * 100.0) if new and old else None
+        rows.append({"series": name, "old": old, "new": new,
+                     "delta_pct": delta})
+    return rows
+
+
 def compare(fresh: dict, committed: dict) -> list:
     """Per-series delta rows between a fresh and a committed report.
 
@@ -251,6 +279,12 @@ def main(argv=None) -> int:
                              "first benchmark (wall time per engine phase) "
                              "and write the reports to PATH "
                              "(default: ./BENCH_profile.json)")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        metavar="PATH",
+                        help="profile history to append this measurement "
+                             "to (default: ./BENCH_history.jsonl)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip the history append")
     args = parser.parse_args(argv)
     if args.fail_on_regression is not None and not args.against:
         parser.error("--fail-on-regression requires --against")
@@ -290,6 +324,16 @@ def main(argv=None) -> int:
         print(f"{name:28s} turbo speedup {ratio:.2f}x")
     print(f"wrote {args.out}")
 
+    if not args.no_history:
+        from repro.perf import append_snapshot, make_snapshot
+
+        # The timestamp is injected here, at the CLI boundary — the
+        # perf library itself never reads the wall clock.
+        snapshot = make_snapshot(report, timestamp=time.time())
+        append_snapshot(args.history, snapshot)
+        print(f"appended snapshot (code={snapshot['code']}) "
+              f"to {args.history}")
+
     if args.profile is not None:
         from repro.obs.profiler import format_profile, profile_machine
 
@@ -308,18 +352,46 @@ def main(argv=None) -> int:
     if committed is not None:
         rows = compare(report, committed)
         print_comparison(rows)
+        speedup_rows = compare_speedups(report, committed)
+        if speedup_rows:
+            print(f"\n{'turbo speedup':28s} {'committed':>12s} "
+                  f"{'fresh':>12s} {'delta':>8s}")
+            for row in speedup_rows:
+                old = f"{row['old']:.2f}x" if row["old"] else "-"
+                new = f"{row['new']:.2f}x" if row["new"] else "-"
+                delta = (f"{row['delta_pct']:+7.1f}%"
+                         if row["delta_pct"] is not None else "      -")
+                print(f"{row['series']:28s} {old:>12s} {new:>12s} "
+                      f"{delta:>8s}")
         if args.fail_on_regression is not None:
-            # The gate covers the legacy series only: their trajectory is
-            # the simulator-cost contract. ``@turbo`` series are tracked
-            # (and cannot silently vanish — the lost check below covers
-            # every committed series) but cross-machine turbo ratios are
-            # informative, not gating.
+            # The gate *fails* on the legacy series only: their
+            # trajectory is the simulator-cost contract. The paired
+            # ``@turbo`` series and the turbo_speedup table are covered
+            # too, but report-only — turbo warnings never fail the run,
+            # so a NumPy-less runner (no ``@turbo`` series at all)
+            # stays green and cross-machine turbo ratios stay
+            # informative rather than gating.
+            def is_turbo(name):
+                return "@" in name
             bad = [r for r in rows if r["delta_pct"] is not None
-                   and "@" not in r["series"]
+                   and not is_turbo(r["series"])
                    and r["delta_pct"] < -args.fail_on_regression]
-            # A committed series with no fresh measurement is lost perf
-            # tracking (renamed/dropped kind), not a pass.
-            lost = [r for r in rows if r["old"] and not r["new"]]
+            # A committed legacy series with no fresh measurement is
+            # lost perf tracking (renamed/dropped kind), not a pass.
+            lost = [r for r in rows if r["old"] and not r["new"]
+                    and not is_turbo(r["series"])]
+            turbo_rows = ([r for r in rows if is_turbo(r["series"])]
+                          + speedup_rows)
+            warn = [r for r in turbo_rows
+                    if (r["delta_pct"] is not None
+                        and r["delta_pct"] < -args.fail_on_regression)
+                    or (r["old"] and not r["new"])]
+            for row in warn:
+                what = ("missing from the fresh report"
+                        if row["old"] and not row["new"]
+                        else f"regressed {row['delta_pct']:+.1f}%")
+                print(f"warning (report-only): turbo series "
+                      f"{row['series']} {what}", file=sys.stderr)
             if bad or lost:
                 if bad:
                     print(f"FAIL: regression beyond "
@@ -332,7 +404,7 @@ def main(argv=None) -> int:
                           + ", ".join(r["series"] for r in lost),
                           file=sys.stderr)
                 return 1
-            print(f"ok: no series regressed beyond "
+            print(f"ok: no gating series regressed beyond "
                   f"{args.fail_on_regression:g}%")
     return 0
 

@@ -40,7 +40,10 @@ then work everywhere a kind name is accepted. The ``run_baseline`` /
 wrappers over the default session.
 
 From the shell: ``python -m repro.campaign run --experiments all
---jobs 4`` (see also ``ls`` / ``export --csv`` / ``clean``).
+--jobs 4`` (see also ``ls`` / ``export --csv`` / ``clean`` /
+``diff <A> <B>`` for differential analysis between two campaigns or
+code versions, and ``python -m repro.perf`` for versioned performance
+history with statistical degradation detection).
 """
 
 from repro.campaign import ResultStore, RunSpec, Sweep, run_campaign
@@ -84,7 +87,7 @@ from repro.workloads import (
     get_profile,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # The front door.

@@ -1,11 +1,18 @@
-"""Result presentation helpers: ASCII charts and markdown tables."""
+"""Result presentation helpers: ASCII charts, markdown tables, and the
+self-contained HTML diff report."""
 
 from repro.analysis.charts import bar_chart, series_table
+from repro.analysis.htmlreport import group_delta_rows, render_diff_html
 from repro.analysis.report import (
     cache_stats_rows,
     format_cache_stats,
+    format_freq_trace,
+    freq_trace_rows,
     markdown_table,
+    sparkline,
 )
 
 __all__ = ["bar_chart", "series_table", "markdown_table",
-           "cache_stats_rows", "format_cache_stats"]
+           "cache_stats_rows", "format_cache_stats", "format_freq_trace",
+           "freq_trace_rows", "group_delta_rows", "render_diff_html",
+           "sparkline"]

@@ -1,0 +1,230 @@
+"""Self-contained HTML rendering of campaign diff reports.
+
+One output file, no external assets: inline CSS, unicode sparklines and
+plain tables, so the report can be attached to a PR, dropped on a file
+share, or served with ``campaign diff --serve`` without a toolchain on
+the other end.  The module also owns the axis-grouping helper the diff
+engine uses for its terminal tables — grouping and rendering share the
+notion of what a "group row" is.
+
+The input is the JSON-safe report dict built by
+:func:`repro.campaign.diff.diff_records`.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import cache_stats_rows, sparkline
+from repro.core.stats import SimStats
+
+#: Verdict -> CSS class (colors defined in _CSS).
+_VERDICT_CLASS = {"improved": "imp", "stable": "sta",
+                  "degraded": "deg", "noise": "noi"}
+
+_CSS = """
+body { font: 14px/1.5 -apple-system, "Segoe UI", Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; padding: 0 1rem;
+       color: #1a1a1a; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .5rem 0; width: 100%; }
+th, td { border: 1px solid #ddd; padding: .25rem .5rem;
+         text-align: left; font-variant-numeric: tabular-nums; }
+th { background: #f5f5f5; }
+.meta { color: #555; }
+.chip { display: inline-block; border-radius: .75rem; padding: 0 .6rem;
+        margin-right: .4rem; font-size: .85em; }
+.imp { background: #e2f4e5; color: #135e1f; }
+.deg { background: #fbe2e2; color: #8c1515; }
+.sta { background: #eee; color: #444; }
+.noi { background: #fdf3d7; color: #7a5c0d; }
+.outlier { outline: 2px solid #b44; }
+.spark { font-family: monospace; letter-spacing: -1px; color: #356; }
+details { margin: .25rem 0 .75rem; }
+summary { cursor: pointer; }
+.small { font-size: .85em; color: #555; }
+"""
+
+
+def group_delta_rows(pairs: Sequence[Dict[str, object]],
+                     axis: str) -> List[Dict[str, object]]:
+    """Summarize diff pairs grouped by one axis value.
+
+    Each row carries the axis ``value``, the pair count, the median
+    relative IPC delta across the group's pairs (``None`` when no pair
+    recorded IPC), and per-verdict counts over *all* metric cells in
+    the group — the shape both the terminal tables and the HTML
+    renderer consume.
+    """
+    from repro.perf.detect import median
+
+    by_value: Dict[str, List[Dict[str, object]]] = {}
+    for pair in pairs:
+        by_value.setdefault(str(pair["axes"].get(axis) or ""),
+                            []).append(pair)
+    rows = []
+    for value in sorted(by_value):
+        members = by_value[value]
+        ipc_rels = [p["metrics"]["ipc"]["rel"] for p in members
+                    if "ipc" in p["metrics"]]
+        counts = {"improved": 0, "stable": 0, "degraded": 0, "noise": 0}
+        for pair in members:
+            for cell in pair["metrics"].values():
+                counts[cell["verdict"]] += 1
+        rows.append({
+            "value": value,
+            "pairs": len(members),
+            "ipc_rel_median": median(ipc_rels) if ipc_rels else None,
+            **counts,
+        })
+    return rows
+
+
+# ------------------------------------------------------------- rendering
+
+def _fmt(value: Optional[float], spec: str = "{:.4g}") -> str:
+    if value is None:
+        return "-"
+    return spec.format(value)
+
+
+def _verdict_chip(verdict: str, rel: Optional[float] = None,
+                  outlier: bool = False) -> str:
+    cls = _VERDICT_CLASS.get(verdict, "sta")
+    if outlier:
+        cls += " outlier"
+    body = verdict if rel is None else f"{verdict} {rel:+.1%}"
+    return f'<span class="chip {cls}">{escape(body)}</span>'
+
+
+def _freq_spark(stats: SimStats) -> str:
+    trace = stats.freq_trace
+    if not trace:
+        return '<span class="small">fixed clock</span>'
+    mhz = [m for _c, m in trace]
+    return (f'<span class="spark">{escape(sparkline(mhz))}</span> '
+            f'<span class="small">{min(mhz):.0f}-{max(mhz):.0f} MHz, '
+            f'{stats.dvfs_retunes} retunes</span>')
+
+
+def _cache_table(stats: SimStats) -> str:
+    rows = cache_stats_rows(stats)
+    if not rows:
+        return '<span class="small">no cache stats recorded</span>'
+    out = ["<table><tr><th>level</th><th>accesses</th><th>hit rate</th>"
+           "<th>prefetches</th><th>writebacks</th>"
+           "<th>occ avg</th><th>stall cyc</th></tr>"]
+    for row in rows:
+        out.append(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td>"
+            "<td>{}</td><td>{}</td><td>{}</td></tr>".format(
+                escape(str(row.get("level"))),
+                row.get("accesses", ""),
+                _fmt(row.get("hit_rate"), "{:.2%}"),
+                row.get("prefetches", ""),
+                row.get("writebacks", ""),
+                _fmt(row.get("occupancy_avg"), "{:.2f}")
+                if "occupancy_avg" in row else "",
+                row.get("stall_cycles", "")))
+    out.append("</table>")
+    return "".join(out)
+
+
+def _metric_delta_table(a_stats: SimStats, b_stats: SimStats,
+                        limit: int = 12) -> str:
+    from repro.obs.metrics import metrics_delta
+
+    rows = metrics_delta(a_stats.metrics, b_stats.metrics, limit=limit)
+    if not rows:
+        return '<span class="small">no metric snapshot deltas</span>'
+    out = ["<table><tr><th>metric</th><th>A</th><th>B</th>"
+           "<th>&Delta;</th><th>&Delta;%</th></tr>"]
+    for row in rows:
+        out.append(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td>"
+            "<td>{}</td></tr>".format(
+                escape(str(row["metric"])), _fmt(row["a"]), _fmt(row["b"]),
+                _fmt(row["delta"]), _fmt(row["rel"], "{:+.1%}")))
+    out.append("</table>")
+    return "".join(out)
+
+
+def render_diff_html(report: Dict[str, object],
+                     title: str = "Campaign diff") -> str:
+    """The whole diff report as one self-contained HTML document."""
+    a, b = report["a"], report["b"]
+    metrics = report["metrics"]
+    pairs = report["pairs"]
+    out = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{escape(title)}</h1>",
+        '<p class="meta">'
+        f"A: <b>{escape(a['selector'])}</b> &mdash; {a['count']} record(s), "
+        f"codes {escape(', '.join(a['codes']) or '-')}<br>"
+        f"B: <b>{escape(b['selector'])}</b> &mdash; {b['count']} record(s), "
+        f"codes {escape(', '.join(b['codes']) or '-')}<br>"
+        f"{len(pairs)} pair(s), {report['flagged']} flagged delta(s), "
+        f"significance floor &plusmn;{report['min_rel']:.1%}</p>",
+    ]
+
+    for axis, rows in report["groups"].items():
+        out.append(f"<h2>By {escape(axis)}</h2><table>"
+                   "<tr><th>value</th><th>pairs</th>"
+                   "<th>median &Delta;IPC</th><th>improved</th>"
+                   "<th>degraded</th><th>noise</th><th>stable</th></tr>")
+        for row in rows:
+            out.append(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td>"
+                "<td>{}</td><td>{}</td><td>{}</td></tr>".format(
+                    escape(str(row["value"]) or "-"), row["pairs"],
+                    _fmt(row["ipc_rel_median"], "{:+.1%}"),
+                    row["improved"], row["degraded"], row["noise"],
+                    row["stable"]))
+        out.append("</table>")
+
+    out.append("<h2>Pairs</h2><table><tr><th>pair</th>"
+               + "".join(f"<th>{escape(m)}</th>" for m in metrics)
+               + "</tr>")
+    for pair in pairs:
+        cells = []
+        for name in metrics:
+            cell = pair["metrics"].get(name)
+            if cell is None:
+                cells.append("<td>-</td>")
+                continue
+            cells.append(
+                "<td>{} &rarr; {} {}</td>".format(
+                    _fmt(cell["a"]), _fmt(cell["b"]),
+                    _verdict_chip(cell["verdict"], cell["rel"],
+                                  cell.get("outlier", False))))
+        out.append(f"<tr><td>{escape(pair['label'])}</td>"
+                   + "".join(cells) + "</tr>")
+    out.append("</table>")
+
+    out.append("<h2>Details</h2>")
+    for pair in pairs:
+        a_stats = SimStats.from_dict(pair.get("a_stats") or {})
+        b_stats = SimStats.from_dict(pair.get("b_stats") or {})
+        out.append(
+            f"<details><summary>{escape(pair['label'])} "
+            f'<span class="small">A={escape(pair["a_key"][:12])} '
+            f'B={escape(pair["b_key"][:12])}</span></summary>'
+            f"<p>freq trace A: {_freq_spark(a_stats)}<br>"
+            f"freq trace B: {_freq_spark(b_stats)}</p>"
+            f"<h3 class='small'>cache stats A</h3>{_cache_table(a_stats)}"
+            f"<h3 class='small'>cache stats B</h3>{_cache_table(b_stats)}"
+            f"<h3 class='small'>metric snapshot deltas</h3>"
+            f"{_metric_delta_table(a_stats, b_stats)}"
+            "</details>")
+
+    for side, labels in (("A", report["unpaired_a"]),
+                         ("B", report["unpaired_b"])):
+        if labels:
+            out.append(f'<p class="small">only in {side}: '
+                       + escape("; ".join(labels)) + "</p>")
+    out.append("</body></html>")
+    return "\n".join(out)

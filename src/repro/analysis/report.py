@@ -96,6 +96,23 @@ def format_cache_stats(stats) -> str:
 _SPARK = "▁▂▃▄▅▆▇█"
 
 
+def sparkline(values: Sequence[float], max_points: int = 60) -> str:
+    """Unicode sparkline of a numeric sequence (empty for no values).
+
+    Values are normalized to the sequence's own min/max span (a flat
+    sequence renders as all-low bars); at most ``max_points`` leading
+    points are drawn so long trajectories stay one terminal line.
+    """
+    values = list(values)[:max_points]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1, int((v - lo) / span * (len(_SPARK) - 1)))]
+        for v in values)
+
+
 def format_freq_trace(stats, max_entries: int = 8) -> str:
     """One-line summary of a governed run's frequency trajectory.
 
@@ -110,12 +127,6 @@ def format_freq_trace(stats, max_entries: int = 8) -> str:
     bits = [f"{int(c)}:{mhz:.0f}" for c, mhz in shown]
     if len(trace) > len(shown):
         bits.append(f"... +{len(trace) - len(shown)} more")
-    lo = min(m for _c, m in trace)
-    hi = max(m for _c, m in trace)
-    span = (hi - lo) or 1.0
-    spark = "".join(
-        _SPARK[min(len(_SPARK) - 1,
-                   int((m - lo) / span * (len(_SPARK) - 1)))]
-        for _c, m in trace[:60])
+    spark = sparkline([m for _c, m in trace])
     return (f"{' '.join(bits)}  [{spark}]  "
             f"({stats.dvfs_retunes} retunes)")

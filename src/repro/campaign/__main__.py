@@ -5,6 +5,8 @@ Usage::
     python -m repro.campaign run --experiments all --jobs 4
     python -m repro.campaign run --experiments fig12,fig13 --seed 7
     python -m repro.campaign ls [--limit 20] [--json]
+    python -m repro.campaign diff latest prev [--html report.html]
+    python -m repro.campaign diff base_mhz=400 base_mhz=600 --serve 8000
     python -m repro.campaign export --csv results.csv
     python -m repro.campaign export --json results.json
     python -m repro.campaign clean [--stale]
@@ -24,6 +26,8 @@ import csv
 import sys
 import time
 
+from repro.campaign.diff import DEFAULT_METRICS as DEFAULT_DIFF_METRICS
+from repro.campaign.diff import cmd_diff
 from repro.campaign.executor import print_progress
 from repro.campaign.spec import RunSpec
 from repro.campaign.store import ResultStore, default_store_root
@@ -129,6 +133,10 @@ def _ls_summary(record) -> dict:
         "key": record.get("key", ""),
         "created": record.get("created", 0),
         "code": record.get("code", ""),
+        # Top-level store metadata since the perf-history PR; derived
+        # from the spec payload for records written before it.
+        "engine": record.get("engine")
+                  or (spec.get("config") or {}).get("engine", "legacy"),
         "kind": spec.get("kind", ""),
         "bench": spec.get("bench", ""),
         "seed": spec.get("seed"),
@@ -160,11 +168,14 @@ def _ls_line(summary: dict) -> str:
     mem = summary.get("mem")
     variant = summary["variant"]
     elapsed = summary.get("elapsed_s")
+    # One format path for both cases: render value+unit first, then pad
+    # to a fixed column — the old per-branch f-strings drifted apart
+    # (None vs >=1000s rows padded to different widths).
+    elapsed_txt = f"{elapsed:.2f}s" if elapsed is not None else "-"
     return (f"{summary['key'][:12]}  {created}  "
             f"code={summary['code']}  n={summary['instructions']}  "
             f"ipc={summary['ipc']:5.2f}  "
-            + (f"elapsed={elapsed:6.2f}s  " if elapsed is not None
-               else f"elapsed={'':>7}  ")
+            f"elapsed={elapsed_txt:>8}  "
             + f"{summary['kind']}/{summary['bench']}"
             + (f"  gov={gov}" if gov else "")
             + (f"  mem={mem}" if mem else "")
@@ -224,7 +235,10 @@ def _cmd_export(args) -> int:
     store = _store(args)
     if args.json is not None:
         return _export_json(store, args.json)
-    header = (["key", "created", "code"] + list(_EXPORT_SPEC)
+    # "code" (the fingerprint) and "engine" make exported rows joinable
+    # with the perf history (BENCH_history.jsonl snapshots carry the
+    # same fingerprint, and series split on the engine axis).
+    header = (["key", "created", "code", "engine"] + list(_EXPORT_SPEC)
               + ["variant", "mem"] + list(_EXPORT_CLOCK)
               + list(_EXPORT_STATS) + ["ipc", "l2_accesses"]
               + [f"{lvl}_hit_rate" for lvl in _EXPORT_CACHE_LEVELS]
@@ -242,7 +256,10 @@ def _cmd_export(args) -> int:
                 # .get with blank cells: records written by other code
                 # versions may lack columns added since (or vice versa).
                 row = [record.get("key", ""), record.get("created", ""),
-                       record.get("code", "")]
+                       record.get("code", ""),
+                       record.get("engine")
+                       or (spec.get("config") or {}).get("engine",
+                                                         "legacy")]
                 row += [spec.get(c, "") for c in _EXPORT_SPEC]
                 row += [_spec_variant(spec), _spec_mem_label(spec)]
                 row += [spec.get("clock", {}).get(c, "")
@@ -274,7 +291,10 @@ def _export_json(store, path: str) -> int:
     Unlike the flattened CSV, this is lossless: each element is the
     record as stored (key, code fingerprint, timestamps, complete spec
     payload and serialized result including event counters and the DVFS
-    frequency trace), ready for pandas/jq pipelines.
+    frequency trace), ready for pandas/jq pipelines. Records from
+    before the store recorded ``engine`` metadata gain the key at
+    export time (derived from the spec payload), so every exported row
+    is joinable with the perf history on (code, engine).
     """
     import json
 
@@ -285,6 +305,11 @@ def _export_json(store, path: str) -> int:
         out.write("[")
         for record in store.records():
             out.write(",\n" if rows else "\n")
+            if "engine" not in record:
+                record = dict(record)
+                record["engine"] = ((record.get("spec") or {})
+                                    .get("config") or {}).get("engine",
+                                                              "legacy")
             json.dump(record, out, sort_keys=True)
             rows += 1
         out.write("\n]\n" if rows else "]\n")
@@ -325,6 +350,34 @@ def main(argv=None) -> int:
                       help="emit a JSON array of record summaries "
                            "instead of the human-readable listing")
 
+    p_diff = sub.add_parser(
+        "diff", help="differential analysis of two store slices")
+    p_diff.add_argument("a", metavar="A",
+                        help="selector: 'latest', 'prev', or key=value "
+                             "filters (e.g. code=ab12, base_mhz=400, "
+                             "kind=baseline,gov=occupancy)")
+    p_diff.add_argument("b", metavar="B", help="selector for the B side")
+    _add_store_flag(p_diff)
+    p_diff.add_argument("--metrics", default=",".join(DEFAULT_DIFF_METRICS),
+                        metavar="M,N,...",
+                        help="metrics to compare (default: "
+                             f"{','.join(DEFAULT_DIFF_METRICS)})")
+    p_diff.add_argument("--min-rel", type=float, default=2.0, metavar="PCT",
+                        help="relative-change significance floor in "
+                             "percent (default: 2)")
+    p_diff.add_argument("--limit", type=int, default=0,
+                        help="max pair rows to print (0 = all)")
+    p_diff.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON instead of "
+                             "the terminal tables")
+    p_diff.add_argument("--html", default=None, metavar="PATH",
+                        help="additionally write a self-contained HTML "
+                             "report")
+    p_diff.add_argument("--serve", type=int, nargs="?", const=8000,
+                        default=None, metavar="PORT",
+                        help="serve the HTML report on localhost:PORT "
+                             "(default 8000; requires --html)")
+
     p_clean = sub.add_parser("clean", help="delete stored results")
     _add_store_flag(p_clean)
     p_clean.add_argument("--stale", action="store_true",
@@ -340,8 +393,8 @@ def main(argv=None) -> int:
                                "(or stdout) instead of flattened CSV")
 
     args = parser.parse_args(argv)
-    handler = {"run": _cmd_run, "ls": _cmd_ls, "clean": _cmd_clean,
-               "export": _cmd_export}[args.command]
+    handler = {"run": _cmd_run, "ls": _cmd_ls, "diff": cmd_diff,
+               "clean": _cmd_clean, "export": _cmd_export}[args.command]
     try:
         return handler(args)
     except ReproError as exc:

@@ -100,6 +100,11 @@ class ResultStore:
         ``elapsed_s`` is the executor's wall time for the simulation
         (None for records written by paths that did not time the run);
         ``ls``/``export`` surface it for spotting slow configurations.
+
+        The engine backend is recorded as top-level metadata (the spec
+        payload elides ``engine`` for legacy runs to keep historical
+        content addresses stable), so ``ls``/``export``/``diff`` can
+        read it without reconstructing the spec.
         """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -108,6 +113,7 @@ class ResultStore:
             "key": key,
             "code": code_fingerprint(),
             "created": time.time(),
+            "engine": getattr(spec.config, "engine", "legacy"),
             "spec": spec.to_dict(),
             "result": result.to_dict(),
         }

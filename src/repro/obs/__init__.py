@@ -15,6 +15,7 @@ from repro.obs.metrics import (
     MetricCounter,
     MetricHistogram,
     MetricRegistry,
+    metrics_delta,
     register_core_sources,
 )
 from repro.obs.profiler import PhaseProfile, install, profile_machine
@@ -34,6 +35,7 @@ __all__ = [
     "chrome_trace",
     "install",
     "lifecycles",
+    "metrics_delta",
     "profile_machine",
     "register_core_sources",
     "render_pipeview",

@@ -139,6 +139,39 @@ class MetricRegistry:
         return out
 
 
+def metrics_delta(a: Dict[str, object], b: Dict[str, object],
+                  limit: int = 0) -> List[Dict[str, object]]:
+    """Changed numeric metrics between two flat snapshots, biggest first.
+
+    ``a`` and ``b`` are :meth:`MetricRegistry.snapshot`-shaped dicts
+    (e.g. ``SimStats.metrics`` of two stored runs).  Rows carry both
+    values, the absolute delta and the relative change (``None`` when
+    the metric is absent on one side — a code-version difference — or
+    divides by zero).  Unchanged metrics and non-numeric values
+    (histogram dicts, labels) are dropped; rows sort by relative change
+    magnitude, metrics without one last.  ``limit`` truncates (0 = all).
+    """
+    def numeric(value):
+        return (value if isinstance(value, (int, float))
+                and not isinstance(value, bool) else None)
+
+    rows: List[Dict[str, object]] = []
+    for name in sorted(set(a) | set(b)):
+        va, vb = numeric(a.get(name)), numeric(b.get(name))
+        if va is None and vb is None:
+            continue
+        if va == vb:
+            continue
+        delta = vb - va if va is not None and vb is not None else None
+        rel = (delta / va if delta is not None and va else None)
+        rows.append({"metric": name, "a": va, "b": vb,
+                     "delta": delta, "rel": rel})
+    rows.sort(key=lambda r: (r["rel"] is None,
+                             -abs(r["rel"]) if r["rel"] is not None else 0.0,
+                             r["metric"]))
+    return rows[:limit] if limit else rows
+
+
 def register_core_sources(registry: MetricRegistry, core) -> None:
     """Wire a core's live structures into the registry as pull sources.
 

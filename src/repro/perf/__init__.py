@@ -1,0 +1,56 @@
+"""Performance versioning: profile history, degradation detection, diffs.
+
+Perun-style longitudinal observability for the simulator itself and for
+stored campaigns.  :mod:`repro.perf.history` grows ``BENCH_core.json``
+into an append-only, schema-versioned profile history
+(``BENCH_history.jsonl``: one snapshot per ``bench_sim_speed`` run, with
+the code fingerprint and a caller-injected timestamp);
+:mod:`repro.perf.detect` classifies every series of that history as
+``improved`` / ``stable`` / ``degraded`` / ``noise`` with statistical
+detectors (rolling median + MAD, best-vs-latest drift) instead of a
+single percentage threshold, and supplies the same delta-classification
+vocabulary to the ``campaign diff`` engine.  ``python -m repro.perf`` is
+the CLI (``append`` / ``check`` / ``show``).
+
+The library layer is deliberately pure: nothing here reads the wall
+clock — timestamps are injected by callers (the bench CLI, the perf
+CLI, CI) so snapshots stay reproducible and the detectors usable from
+environments without wall-clock APIs.  DESIGN.md §9 documents the
+schema and the detector semantics.
+"""
+
+from repro.perf.detect import (
+    DeltaVerdict,
+    SeriesVerdict,
+    classify_delta,
+    classify_history,
+    classify_series,
+    mad,
+    median,
+    robust_z,
+)
+from repro.perf.history import (
+    HISTORY_SCHEMA,
+    append_snapshot,
+    load_history,
+    make_snapshot,
+    series_names,
+    series_values,
+)
+
+__all__ = [
+    "DeltaVerdict",
+    "HISTORY_SCHEMA",
+    "SeriesVerdict",
+    "append_snapshot",
+    "classify_delta",
+    "classify_history",
+    "classify_series",
+    "load_history",
+    "mad",
+    "make_snapshot",
+    "median",
+    "robust_z",
+    "series_names",
+    "series_values",
+]

@@ -1,0 +1,166 @@
+"""CLI over the performance-versioning layer.
+
+Usage::
+
+    python -m repro.perf append --report BENCH_core.json \\
+        [--history BENCH_history.jsonl] [--timestamp T] [--code HEX]
+    python -m repro.perf check [--history BENCH_history.jsonl] \\
+        [--window N] [--min-rel PCT] [--z-thresh Z] [--drift PCT] \\
+        [--fail-on-degraded]
+    python -m repro.perf show [--history BENCH_history.jsonl] \\
+        [--series NAME]
+
+``append`` snapshots an existing ``bench_sim_speed`` report into the
+history (``bench_sim_speed`` itself appends automatically after each
+measurement); ``check`` runs the statistical degradation detectors over
+every series and is report-only unless ``--fail-on-degraded`` is given;
+``show`` prints per-series trajectories with sparklines.
+
+The timestamp is injected here, at the CLI boundary — the library layer
+never reads the wall clock, so detector runs are reproducible and the
+whole module stays usable from environments without wall-clock APIs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.perf.detect import classify_history
+from repro.perf.history import (
+    DEFAULT_HISTORY,
+    append_snapshot,
+    load_history,
+    make_snapshot,
+    series_names,
+    series_values,
+)
+
+#: Verdict -> marker glyph for the check table.
+_MARK = {"improved": "+", "stable": "=", "degraded": "!", "noise": "~"}
+
+
+def _add_history_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--history", default=DEFAULT_HISTORY, metavar="PATH",
+                        help=f"history file (default: {DEFAULT_HISTORY})")
+
+
+def _cmd_append(args) -> int:
+    try:
+        with open(args.report, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.report}: {exc}", file=sys.stderr)
+        return 1
+    timestamp = args.timestamp if args.timestamp is not None else time.time()
+    snapshot = make_snapshot(report, timestamp=timestamp, code=args.code)
+    append_snapshot(args.history, snapshot)
+    print(f"appended snapshot of {args.report} "
+          f"({len(snapshot['series'])} series, code={snapshot['code']}) "
+          f"to {args.history}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    history = load_history(args.history)
+    if not history:
+        print(f"no readable snapshots in {args.history}", file=sys.stderr)
+        return 0 if not args.fail_on_degraded else 1
+    verdicts = classify_history(
+        history, window=args.window, min_rel=args.min_rel / 100.0,
+        z_thresh=args.z_thresh, drift_tol=args.drift / 100.0)
+    print(f"{len(history)} snapshot(s), {len(verdicts)} series "
+          f"(latest code={history[-1].get('code', '?')})")
+    print(f"  {'':1s} {'series':34s} {'verdict':9s} {'latest':>12s} "
+          f"{'median':>12s} {'Δ':>8s} {'z':>6s} {'vs best':>8s}")
+    for v in verdicts:
+        rel = f"{v.rel_delta:+.1%}" if v.rel_delta is not None else "-"
+        z = f"{v.z:+.1f}" if v.z is not None else "-"
+        best = f"{v.vs_best:+.1%}" if v.vs_best is not None else "-"
+        med = f"{v.median:,.2f}" if v.median is not None else "-"
+        print(f"  {_MARK.get(v.verdict, '?')} {v.series:34s} "
+              f"{v.verdict:9s} {v.latest:>12,.2f} {med:>12s} {rel:>8s} "
+              f"{z:>6s} {best:>8s}  {v.reason}")
+    degraded = [v for v in verdicts if v.verdict == "degraded"]
+    if degraded:
+        print(f"{len(degraded)} degraded series: "
+              + ", ".join(v.series for v in degraded), file=sys.stderr)
+        if args.fail_on_degraded:
+            return 1
+    else:
+        print("no degraded series")
+    return 0
+
+
+def _cmd_show(args) -> int:
+    from repro.analysis.report import sparkline
+
+    history = load_history(args.history)
+    if not history:
+        print(f"no readable snapshots in {args.history}", file=sys.stderr)
+        return 0
+    names = ([args.series] if args.series
+             else series_names(history))
+    for name in names:
+        points = series_values(history, name)
+        if not points:
+            print(f"{name}: no measurements", file=sys.stderr)
+            continue
+        values = [v for _ts, v in points]
+        print(f"{name:34s} n={len(values):<3d} "
+              f"[{sparkline(values)}]  "
+              f"first={values[0]:,.2f} last={values[-1]:,.2f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf",
+        description="Versioned performance history and degradation "
+                    "detection over bench_sim_speed reports.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_append = sub.add_parser(
+        "append", help="snapshot a BENCH_core.json report into the history")
+    p_append.add_argument("--report", default="BENCH_core.json",
+                          metavar="PATH")
+    _add_history_flag(p_append)
+    p_append.add_argument("--timestamp", type=float, default=None,
+                          help="snapshot timestamp (default: now; pass "
+                               "explicitly for reproducible histories)")
+    p_append.add_argument("--code", default=None, metavar="HEX",
+                          help="code fingerprint to record (default: "
+                               "fingerprint of the installed sources)")
+
+    p_check = sub.add_parser(
+        "check", help="classify every series (report-only by default)")
+    _add_history_flag(p_check)
+    p_check.add_argument("--window", type=int, default=10,
+                         help="rolling-median window (default: 10)")
+    p_check.add_argument("--min-rel", type=float, default=5.0, metavar="PCT",
+                         help="stability band around the rolling median "
+                              "in percent (default: 5)")
+    p_check.add_argument("--z-thresh", type=float, default=3.5,
+                         help="MAD z-score beyond which a change is "
+                              "significant (default: 3.5)")
+    p_check.add_argument("--drift", type=float, default=15.0, metavar="PCT",
+                         help="best-vs-latest drift tolerance in percent "
+                              "(default: 15)")
+    p_check.add_argument("--fail-on-degraded", action="store_true",
+                         help="exit non-zero when any series classifies "
+                              "as degraded")
+
+    p_show = sub.add_parser("show", help="print per-series trajectories")
+    _add_history_flag(p_show)
+    p_show.add_argument("--series", default=None, metavar="NAME")
+
+    args = parser.parse_args(argv)
+    handler = {"append": _cmd_append, "check": _cmd_check,
+               "show": _cmd_show}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

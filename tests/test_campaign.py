@@ -487,3 +487,139 @@ class TestObservabilityOnCampaign:
         result = report.result_for(traced)
         assert result.trace is not None
         assert result.trace["events"]
+
+
+class TestStoreEngineMetadata:
+    def test_put_records_engine_top_level(self, tmp_path):
+        store = ResultStore(tmp_path)
+        legacy = spec()
+        store.put(legacy.cache_key(), legacy, legacy.execute())
+        record = next(store.records())
+        assert record["engine"] == "legacy"
+
+    def test_turbo_engine_recorded(self, tmp_path):
+        pytest.importorskip("numpy")
+        store = ResultStore(tmp_path)
+        turbo = spec(config=CoreConfig(engine="turbo"))
+        store.put(turbo.cache_key(), turbo, turbo.execute())
+        record = next(store.records())
+        assert record["engine"] == "turbo"
+
+    def test_ls_summary_engine_falls_back_to_spec(self, tmp_path):
+        """Records written before the engine metadata still summarize."""
+        from repro.campaign.__main__ import _ls_summary
+
+        store = ResultStore(tmp_path)
+        s = spec()
+        store.put(s.cache_key(), s, s.execute())
+        path = store._path(s.cache_key())
+        record = json.loads(path.read_text())
+        del record["engine"]
+        path.write_text(json.dumps(record))
+        assert _ls_summary(next(store.records()))["engine"] == "legacy"
+
+
+class TestLsElapsedAlignment:
+    def _line(self, elapsed):
+        from repro.campaign.__main__ import _ls_line
+
+        summary = {
+            "key": "k" * 40, "created": 1700000000.0, "code": "abc123def456",
+            "engine": "legacy", "kind": "baseline", "bench": "smoke",
+            "seed": None, "instructions": N, "warmup": W, "mem_scale": 1.0,
+            "base_mhz": 400.0, "fe_speedup": None, "be_speedup": None,
+            "governor": None, "mem": "", "variant": "",
+            "committed": N, "cycles": 1000, "ipc": 1.2,
+            "sim_time_ps": 1, "dvfs_retunes": 0, "elapsed_s": elapsed,
+        }
+        return _ls_line(summary)
+
+    def test_none_and_value_rows_align(self):
+        lines = [self._line(e) for e in (None, 0.05, 3.5, 1234.56)]
+        columns = {line.index("baseline/smoke") for line in lines}
+        assert len(columns) == 1
+        assert "elapsed=       -" in lines[0]
+        assert "elapsed=   0.05s" in lines[1]
+        assert "elapsed=1234.56s" in lines[3]
+
+
+class TestExportEngineColumns:
+    def test_csv_has_code_and_engine_columns(self, tmp_path, capsys):
+        from repro.campaign.__main__ import main as campaign_main
+
+        store_dir = tmp_path / "store"
+        run_campaign([spec()], store=ResultStore(store_dir))
+        out_csv = tmp_path / "out.csv"
+        assert campaign_main(["export", "--store", str(store_dir),
+                              "--csv", str(out_csv)]) == 0
+        header, row = out_csv.read_text().splitlines()[:2]
+        cols = header.split(",")
+        values = row.split(",")
+        assert values[cols.index("engine")] == "legacy"
+        # The code column matches the live fingerprint, making CSV rows
+        # joinable with perf-history snapshots.
+        assert values[cols.index("code")] == code_fingerprint()
+
+    def test_export_json_augments_engineless_records(self, tmp_path,
+                                                     capsys):
+        from repro.campaign.__main__ import main as campaign_main
+
+        store = ResultStore(tmp_path / "store")
+        s = spec()
+        store.put(s.cache_key(), s, s.execute())
+        path = store._path(s.cache_key())
+        record = json.loads(path.read_text())
+        del record["engine"]          # simulate a pre-engine-PR record
+        path.write_text(json.dumps(record))
+        assert campaign_main(["export", "--json", "--store",
+                              str(store.root)]) == 0
+        exported = json.loads(capsys.readouterr().out)
+        assert exported[0]["engine"] == "legacy"
+
+
+class TestDiffAcrossCodeVersions:
+    def _put_as(self, store, s, code, created, monkeypatch):
+        """Store one executed spec under a forced code fingerprint."""
+        monkeypatch.setattr("repro.campaign.spec.code_fingerprint",
+                            lambda: code)
+        monkeypatch.setattr("repro.campaign.store.code_fingerprint",
+                            lambda: code)
+        key = s.cache_key()
+        store.put(key, s, s.execute())
+        path = store._path(key)
+        record = json.loads(path.read_text())
+        record["created"] = created
+        path.write_text(json.dumps(record))
+
+    def test_latest_vs_prev_pairs_identical_specs(self, tmp_path,
+                                                  monkeypatch, capsys):
+        from repro.campaign.__main__ import main as campaign_main
+
+        store = ResultStore(tmp_path / "store")
+        s = spec()
+        self._put_as(store, s, "old0000code0", 1000.0, monkeypatch)
+        self._put_as(store, s, "new0000code0", 2000.0, monkeypatch)
+        monkeypatch.undo()
+        assert campaign_main(["diff", "prev", "latest",
+                              "--store", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "prev (code=old0000code0)" in out
+        assert "latest (code=new0000code0)" in out
+        # Identical simulator output on both sides: one pair, no
+        # statistically flagged deltas.
+        assert "1 pair(s), 0 flagged delta(s)" in out
+
+    def test_code_prefix_selector(self, tmp_path, monkeypatch, capsys):
+        from repro.campaign.__main__ import main as campaign_main
+
+        store = ResultStore(tmp_path / "store")
+        s = spec()
+        self._put_as(store, s, "old0000code0", 1000.0, monkeypatch)
+        self._put_as(store, s, "new0000code0", 2000.0, monkeypatch)
+        monkeypatch.undo()
+        assert campaign_main(["diff", "code=old", "code=new", "--store",
+                              str(store.root), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["pairs"]) == 1
+        assert report["a"]["codes"] == ["old0000code0"]
+        assert report["b"]["codes"] == ["new0000code0"]
