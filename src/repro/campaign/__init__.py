@@ -9,10 +9,19 @@ Pieces:
   :meth:`RunSpec.cache_key` (config + workload + budgets + code version).
 * :func:`run_campaign` (``executor.py``) — execute a job list with
   ``jobs`` worker processes, per-job timeout and progress reporting.
-* :class:`ResultStore` (``store.py``) — on-disk JSON memo table keyed by
-  cache key, so repeated and overlapping campaigns are near-instant.
+* :class:`ResultStore` (``store.py``) — sharded on-disk JSON memo table
+  keyed by cache key with an advisory SQLite selector index
+  (``index.py``), so repeated and overlapping campaigns are
+  near-instant and filtered listings never scan every shard.
+* :class:`CampaignRun` (``journal.py``) + :class:`CampaignScheduler`
+  (``scheduler.py``) — the resumable serving-stack executor: an
+  append-only per-campaign journal, per-job timeout, bounded retry with
+  backoff, quarantine for poisoned specs, and ``resume`` after a crash
+  from the journal + store alone.
 * ``python -m repro.campaign`` (``__main__.py``) — ``run`` / ``ls`` /
-  ``clean`` / ``export --csv`` over the store.
+  ``resume`` / ``migrate`` / ``clean`` / ``export --csv`` over the
+  store; ``python -m repro.serve`` puts the same machinery behind
+  HTTP/SSE.
 
 Example::
 
@@ -34,17 +43,30 @@ from repro.campaign.executor import (
     print_progress,
     run_campaign,
 )
+from repro.campaign.journal import CampaignRun, list_campaigns
+from repro.campaign.scheduler import (
+    CampaignScheduler,
+    ScheduleReport,
+    resume_campaign,
+    submit_campaign,
+)
 from repro.campaign.spec import RunSpec, Sweep, code_fingerprint, dedup
 from repro.campaign.store import ResultStore, default_store_root
 
 __all__ = [
     "CampaignReport",
+    "CampaignRun",
+    "CampaignScheduler",
     "ResultStore",
     "RunSpec",
+    "ScheduleReport",
     "Sweep",
     "code_fingerprint",
     "dedup",
     "default_store_root",
+    "list_campaigns",
     "print_progress",
+    "resume_campaign",
     "run_campaign",
+    "submit_campaign",
 ]

@@ -4,7 +4,9 @@ Usage::
 
     python -m repro.campaign run --experiments all --jobs 4
     python -m repro.campaign run --experiments fig12,fig13 --seed 7
-    python -m repro.campaign ls [--limit 20] [--json]
+    python -m repro.campaign ls [--limit 20] [--kind K] [--bench B] [--json]
+    python -m repro.campaign resume [<campaign-id>]
+    python -m repro.campaign migrate
     python -m repro.campaign diff latest prev [--html report.html]
     python -m repro.campaign diff base_mhz=400 base_mhz=600 --serve 8000
     python -m repro.campaign export --csv results.csv
@@ -189,8 +191,11 @@ def _cmd_ls(args) -> int:
     shown = 0
     summaries = []
     # One parse path for both output modes: damaged records stay visible
-    # (and the counts honest) in JSON too.
-    for record in store.records():
+    # (and the counts honest) in JSON too. With --kind/--bench the
+    # selector index picks the matching shards: only those records are
+    # read, however large the store is.
+    for record in store.records(kind=args.kind, bench=args.bench,
+                                limit=args.limit):
         try:
             summary = _ls_summary(record)
         except (KeyError, TypeError, ValueError, AttributeError):
@@ -200,13 +205,66 @@ def _cmd_ls(args) -> int:
         else:
             print(_ls_line(summary))
         shown += 1
-        if args.limit and shown >= args.limit:
-            break
     if args.json:
         json.dump(summaries, sys.stdout, indent=2, sort_keys=True)
         print()
-    print(f"{shown} of {len(store)} record(s) in {store.root}",
+    filters = "".join(f" {ax}={val}" for ax, val in
+                      (("kind", args.kind), ("bench", args.bench)) if val)
+    print(f"{shown} of {len(store)} record(s){filters} in {store.root}",
           file=sys.stderr)
+    return 0
+
+
+def _print_campaign_event(event) -> None:
+    """Progress line for one scheduler :class:`SessionEvent`."""
+    prefix = f"[{event.done}/{event.total}]"
+    if event.event == "plan":
+        print(f"{prefix} campaign planned: {event.total} job(s)",
+              file=sys.stderr, flush=True)
+    elif event.event == "result":
+        label = event.spec.label if event.spec is not None else "?"
+        print(f"{prefix} {label}  ({event.source})",
+              file=sys.stderr, flush=True)
+    elif event.event == "quarantine":
+        label = event.spec.label if event.spec is not None else "?"
+        tail = event.error.strip().splitlines()
+        print(f"{prefix} QUARANTINED {label}: "
+              f"{tail[-1] if tail else 'unknown error'}",
+              file=sys.stderr, flush=True)
+
+
+def _cmd_resume(args) -> int:
+    from repro.campaign.journal import list_campaigns
+    from repro.campaign.scheduler import resume_campaign
+
+    store = _store(args)
+    if not args.campaign:
+        campaigns = list_campaigns(store.root)
+        if not campaigns:
+            print(f"no campaigns journaled under {store.root}")
+            return 0
+        for status in campaigns:
+            states = status["states"]
+            open_jobs = states["pending"] + states["running"] \
+                + states["failed"]
+            print(f"{status['campaign']}  total={status['total']} "
+                  f"done={states['done']} open={open_jobs} "
+                  f"quarantined={states['quarantined']}  "
+                  f"{'complete' if status['complete'] else 'resumable'}")
+        return 0
+    scheduler = resume_campaign(
+        args.campaign, store, jobs=args.jobs, timeout_s=args.timeout,
+        on_event=None if args.quiet else _print_campaign_event)
+    report = scheduler.execute()
+    print(f"campaign {args.campaign}: {report.summary()}")
+    return 1 if report.quarantined else 0
+
+
+def _cmd_migrate(args) -> int:
+    store = _store(args)
+    moved = store.migrate()
+    print(f"migrated {moved} record(s) to the sharded layout; "
+          f"index rebuilt ({len(store)} record(s) in {store.root})")
     return 0
 
 
@@ -346,6 +404,12 @@ def main(argv=None) -> int:
     _add_store_flag(p_ls)
     p_ls.add_argument("--limit", type=int, default=40,
                       help="max records to print (0 = all)")
+    p_ls.add_argument("--kind", default=None,
+                      help="only records of this simulator kind "
+                           "(answered from the selector index)")
+    p_ls.add_argument("--bench", default=None,
+                      help="only records of this benchmark "
+                           "(answered from the selector index)")
     p_ls.add_argument("--json", action="store_true",
                       help="emit a JSON array of record summaries "
                            "instead of the human-readable listing")
@@ -378,6 +442,25 @@ def main(argv=None) -> int:
                         help="serve the HTML report on localhost:PORT "
                              "(default 8000; requires --html)")
 
+    p_resume = sub.add_parser(
+        "resume", help="resume an interrupted campaign from its journal "
+                       "(no id: list journaled campaigns)")
+    p_resume.add_argument("campaign", nargs="?",
+                          help="campaign id (see `resume` with no args)")
+    _add_store_flag(p_resume)
+    p_resume.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (default: journaled value)")
+    p_resume.add_argument("--timeout", type=float, default=None,
+                          help="per-job timeout in seconds "
+                               "(default: journaled value)")
+    p_resume.add_argument("--quiet", action="store_true",
+                          help="suppress per-job progress lines")
+
+    p_migrate = sub.add_parser(
+        "migrate", help="relocate flat-layout records into the sharded "
+                        "layout and rebuild the index")
+    _add_store_flag(p_migrate)
+
     p_clean = sub.add_parser("clean", help="delete stored results")
     _add_store_flag(p_clean)
     p_clean.add_argument("--stale", action="store_true",
@@ -394,6 +477,7 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     handler = {"run": _cmd_run, "ls": _cmd_ls, "diff": cmd_diff,
+               "resume": _cmd_resume, "migrate": _cmd_migrate,
                "clean": _cmd_clean, "export": _cmd_export}[args.command]
     try:
         return handler(args)

@@ -1,0 +1,23 @@
+"""HTTP/SSE front end for the campaign engine.
+
+``python -m repro.serve`` starts the daemon (:mod:`repro.serve.app`);
+``python -m repro.serve submit|tail|ls|status|health`` is the bundled
+client (:mod:`repro.serve.client`). Everything is stdlib —
+``http.server`` on the daemon side, ``urllib`` on the client side —
+and all durable state lives in the campaign store + journals, so the
+daemon itself is disposable.
+"""
+
+from repro.serve.app import CampaignFeed, ServeApp, make_server
+from repro.serve.client import DEFAULT_URL, ServeClient
+from repro.serve.payload import event_payload, specs_from_payload
+
+__all__ = [
+    "CampaignFeed",
+    "DEFAULT_URL",
+    "ServeApp",
+    "ServeClient",
+    "event_payload",
+    "make_server",
+    "specs_from_payload",
+]

@@ -1,0 +1,127 @@
+"""Thin urllib client for the campaign service.
+
+``ServeClient`` speaks the daemon's JSON/SSE wire format; the
+``python -m repro.serve submit|tail|ls|status`` subcommands are thin
+wrappers over it. No third-party HTTP stack — ``urllib.request`` plus a
+25-line SSE parser is the whole dependency surface, so the client works
+anywhere the simulator does.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, Tuple
+from urllib.error import HTTPError, URLError
+from urllib.parse import urlencode
+from urllib.request import Request, urlopen
+
+from repro.errors import CampaignError
+
+DEFAULT_URL = "http://127.0.0.1:8023"
+
+
+class ServeClient:
+    """One daemon endpoint: ``submit`` / ``tail`` / ``ls`` / ``status``."""
+
+    def __init__(self, base_url: str = DEFAULT_URL,
+                 timeout_s: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ---------------------------------------------------------- plumbing
+
+    def _request(self, path: str, body: Optional[Dict] = None) -> Dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(self.base_url + path, data=data, headers=headers)
+        try:
+            with urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read())
+        except HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise CampaignError(
+                f"{path}: HTTP {exc.code}: {detail}") from None
+        except URLError as exc:
+            raise CampaignError(
+                f"cannot reach campaign service at {self.base_url}: "
+                f"{exc.reason}") from None
+
+    # -------------------------------------------------------------- API
+
+    def health(self) -> Dict:
+        return self._request("/healthz")
+
+    def submit(self, payload: Dict) -> Dict:
+        """POST a Sweep JSON body; returns ``{"campaign", "total", ...}``."""
+        return self._request("/campaigns", body=payload)
+
+    def campaigns(self) -> List[Dict]:
+        return self._request("/campaigns")
+
+    def status(self, campaign_id: str) -> Dict:
+        return self._request(f"/campaigns/{campaign_id}")
+
+    def results(self, **filters) -> List[Dict]:
+        query = {k: v for k, v in filters.items() if v not in (None, "", 0)}
+        path = "/results"
+        if query:
+            path += "?" + urlencode(query)
+        return self._request(path)
+
+    def events(self, campaign_id: str,
+               timeout_s: Optional[float] = None) -> Iterator[
+                   Tuple[str, Dict]]:
+        """Yield ``(event type, data)`` from the campaign's SSE stream.
+
+        Blocks while the campaign runs; the stream (and this iterator)
+        ends when the server closes it after the terminal event.
+        """
+        request = Request(
+            f"{self.base_url}/campaigns/{campaign_id}/events",
+            headers={"Accept": "text/event-stream"})
+        try:
+            with urlopen(request, timeout=timeout_s) as response:
+                if response.status != 200:
+                    raise CampaignError(
+                        f"events stream: HTTP {response.status}")
+                yield from _parse_sse(response)
+        except HTTPError as exc:
+            raise CampaignError(
+                f"events stream: HTTP {exc.code}: "
+                f"{exc.read().decode('utf-8', 'replace')}") from None
+        except URLError as exc:
+            raise CampaignError(
+                f"cannot reach campaign service at {self.base_url}: "
+                f"{exc.reason}") from None
+
+
+def _parse_sse(stream) -> Iterator[Tuple[str, Dict]]:
+    """Minimal SSE parser: ``event:``/``data:`` fields, blank-line framed."""
+    event_type = "message"
+    data_lines: List[str] = []
+    for raw in stream:
+        line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+        if not line:              # dispatch on blank line
+            if data_lines:
+                try:
+                    data = json.loads("\n".join(data_lines))
+                except ValueError:
+                    data = {"raw": "\n".join(data_lines)}
+                yield event_type, data
+            event_type, data_lines = "message", []
+            continue
+        if line.startswith(":"):  # comment / keep-alive
+            continue
+        field, _, value = line.partition(":")
+        value = value[1:] if value.startswith(" ") else value
+        if field == "event":
+            event_type = value
+        elif field == "data":
+            data_lines.append(value)

@@ -179,8 +179,16 @@ class SessionEvent:
     * ``"result"`` — one job finished; carries the ``spec``, the
       ``result`` and ``source`` (``"memory"``/``"store"``/``"run"``),
       with ``done`` counting finished jobs so far.
+    * ``"quarantine"`` — a job the resumable scheduler gave up on
+      after its retry budget; ``spec`` plus the final traceback in
+      ``error`` (only the :mod:`repro.campaign.scheduler` path emits
+      this — ``Session.stream`` raises on failure instead).
     * ``"summary"`` — batch complete; ``hits``/``executed`` counters
-      and ``elapsed_s`` wall time.
+      (plus ``quarantined`` on the scheduler path) and ``elapsed_s``
+      wall time.
+
+    The serve daemon bridges these events 1:1 onto its SSE wire format
+    (see ``repro.serve``), so the schema here *is* the service schema.
     """
 
     event: str
@@ -192,6 +200,8 @@ class SessionEvent:
     hits: int = 0
     executed: int = 0
     elapsed_s: float = 0.0
+    error: str = ""
+    quarantined: int = 0
 
 
 class Session:
