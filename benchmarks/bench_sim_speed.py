@@ -16,14 +16,16 @@ the fresh measurement to a committed report and prints a per-kind
 delta table; ``--fail-on-regression PCT`` turns any slowdown beyond PCT
 percent into a non-zero exit for CI (omit it for report-only mode —
 cross-machine comparisons are informative, not gating). The gate covers
-the paired ``@turbo`` series and the turbo_speedup table too, but
-report-only: turbo warnings never fail the run, so NumPy-less runners
-(which skip the turbo series entirely) stay green.
+the paired ``@turbo``/``@vector`` series and the speedup tables too,
+but report-only: engine warnings never fail the run, so NumPy-less
+runners (which skip the engine series entirely) stay green.
+``--quick`` runs one repeat on a reduced budget with no history append,
+for the CI regression step and local iteration.
 
 Every measurement also appends a schema-versioned snapshot (series,
-turbo speedups, code fingerprint, timestamp — injected here, at the CLI
-boundary) to ``BENCH_history.jsonl``; ``python -m repro.perf check``
-runs the statistical degradation detectors over that history.
+engine speedups, code fingerprint, timestamp — injected here, at the
+CLI boundary) to ``BENCH_history.jsonl``; ``python -m repro.perf
+check`` runs the statistical degradation detectors over that history.
 
 Reference points measured on the PR-1 tree (same protocol, same
 container class) before the engine refactor:
@@ -46,6 +48,16 @@ BENCH_BENCHMARKS = ("gcc", "smoke")
 BENCH_INSTRUCTIONS = 30_000
 BENCH_WARMUP = 10_000
 BENCH_REPEATS = 3
+
+#: ``--quick`` protocol: one repeat on a reduced budget, meant for the
+#: CI regression step and local iteration.  Quick numbers are noisier
+#: and measured on a different budget, so they are never appended to
+#: the history file and should only ever be compared against another
+#: quick run.
+QUICK_INSTRUCTIONS = 8_000
+QUICK_WARMUP = 3_000
+QUICK_MEMBOUND_INSTRUCTIONS = 4_000
+QUICK_MEMBOUND_WARMUP = 2_000
 
 #: Miss-path series: the baseline on the pointer_chase profile, once on
 #: the default (fast-path) memory system and once through the general
@@ -100,18 +112,29 @@ def measure(benchmarks=BENCH_BENCHMARKS,
             instructions=BENCH_INSTRUCTIONS,
             warmup=BENCH_WARMUP,
             repeats=BENCH_REPEATS,
-            engines=("legacy", "turbo")) -> dict:
+            engines=("legacy", "turbo", "vector"),
+            membound_instructions=MEMBOUND_INSTRUCTIONS,
+            membound_warmup=MEMBOUND_WARMUP) -> dict:
     """Best-of-``repeats`` cycles/sec and instrs/sec per kind/benchmark.
 
     ``engines`` is the backend axis: the legacy engine keeps the bare
     series name (``baseline/gcc``) so the cycles/sec trajectory across
-    PRs stays unbroken, the turbo engine appends ``@turbo``
-    (``baseline/gcc@turbo``). When both run, the report also carries a
-    ``turbo_speedup`` table (turbo / legacy cycles-per-sec per series).
-    Turbo repeats share one instruction pool (by design — the pool is
-    cross-run state), so best-of-repeats measures the warm path.
+    PRs stays unbroken, the other engines append ``@<engine>``
+    (``baseline/gcc@turbo``, ``baseline/gcc@vector``). When an engine
+    pair runs, the report also carries per-engine speedup tables
+    (``turbo_speedup``/``vector_speedup``: engine / legacy
+    cycles-per-sec per series). Engine repeats share one instruction
+    pool (by design — the pool is cross-run state), so best-of-repeats
+    measures the warm path.
+
+    The engine series run the *kind's* default config with only the
+    engine swapped — a bare ``CoreConfig(engine=...)`` would silently
+    drop kind-specific defaults (the flywheel's 512-entry register
+    file, its two regread stages) and measure a different machine than
+    the legacy series, with more cycles to simulate
+    (tests/test_bench_speed.py pins the config path).
     """
-    from repro.core.config import CoreConfig
+    from repro.core.registry import get_kind
 
     programs = {b: generate_program(get_profile(b)) for b in benchmarks}
     series = {}
@@ -119,7 +142,8 @@ def measure(benchmarks=BENCH_BENCHMARKS,
         for bench in benchmarks:
             for engine in engines:
                 config = (None if engine == "legacy"
-                          else CoreConfig(engine=engine))
+                          else get_kind(kind).default_config()
+                          .with_variant(engine=engine))
                 best = float("inf")
                 result = None
                 for _ in range(repeats):
@@ -137,7 +161,9 @@ def measure(benchmarks=BENCH_BENCHMARKS,
                     "cycles_per_sec": round(cycles / best),
                     "instrs_per_sec": round(result.stats.committed / best),
                 }
-    series.update(_measure_membound(repeats))
+    series.update(_measure_membound(repeats, engines,
+                                    membound_instructions,
+                                    membound_warmup))
     report = {
         "protocol": {
             "benchmarks": list(benchmarks),
@@ -150,25 +176,36 @@ def measure(benchmarks=BENCH_BENCHMARKS,
         "python": sys.version.split()[0],
         "series": series,
     }
-    speedups = turbo_speedups(series)
-    if speedups:
-        report["turbo_speedup"] = speedups
+    for engine in engines:
+        if engine == "legacy":
+            continue
+        speedups = engine_speedups(series, engine)
+        if speedups:
+            report[f"{engine}_speedup"] = speedups
     return report
 
 
-def turbo_speedups(series: dict) -> dict:
-    """``base series -> turbo/legacy cycles-per-sec ratio`` table."""
+def engine_speedups(series: dict, engine: str) -> dict:
+    """``base series -> engine/legacy cycles-per-sec ratio`` table."""
+    suffix = f"@{engine}"
     speedups = {}
     for name, row in series.items():
-        if name.endswith("@turbo"):
-            base = series.get(name[: -len("@turbo")])
+        if name.endswith(suffix):
+            base = series.get(name[: -len(suffix)])
             if base and base.get("cycles_per_sec"):
-                speedups[name[: -len("@turbo")]] = round(
+                speedups[name[: -len(suffix)]] = round(
                     row["cycles_per_sec"] / base["cycles_per_sec"], 2)
     return speedups
 
 
-def _measure_membound(repeats: int) -> dict:
+def turbo_speedups(series: dict) -> dict:
+    """``base series -> turbo/legacy cycles-per-sec ratio`` table."""
+    return engine_speedups(series, "turbo")
+
+
+def _measure_membound(repeats: int, engines=("legacy",),
+                      instructions=MEMBOUND_INSTRUCTIONS,
+                      warmup=MEMBOUND_WARMUP) -> dict:
     """The miss-path series (see :data:`MEMBOUND_BENCH`).
 
     The budget is smaller than the main series — a memory-bound run
@@ -179,37 +216,46 @@ def _measure_membound(repeats: int) -> dict:
     from repro.mem import MemorySpec
 
     program = generate_program(get_profile(MEMBOUND_BENCH))
-    points = (("membound", None),
-              ("membound-mshr4", CoreConfig(mem=MemorySpec(mshrs=4))))
+    points = (("membound", {}),
+              ("membound-mshr4", {"mem": MemorySpec(mshrs=4)}))
     series = {}
-    for label, config in points:
-        best = float("inf")
-        result = None
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            result = _run("baseline", program, MEMBOUND_INSTRUCTIONS,
-                          MEMBOUND_WARMUP, config=config)
-            best = min(best, time.perf_counter() - t0)
-        cycles = result.stats.total_be_cycles
-        series[f"{label}/{MEMBOUND_BENCH}"] = {
-            "seconds": round(best, 4),
-            "cycles": cycles,
-            "cycles_per_sec": round(cycles / best),
-            "instrs_per_sec": round(result.stats.committed / best),
-        }
+    for label, kw in points:
+        for engine in engines:
+            if engine == "legacy":
+                config = CoreConfig(**kw) if kw else None
+            else:
+                config = CoreConfig(engine=engine, **kw)
+            best = float("inf")
+            result = None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                result = _run("baseline", program, instructions,
+                              warmup, config=config)
+                best = min(best, time.perf_counter() - t0)
+            cycles = result.stats.total_be_cycles
+            name = f"{label}/{MEMBOUND_BENCH}"
+            if engine != "legacy":
+                name += f"@{engine}"
+            series[name] = {
+                "seconds": round(best, 4),
+                "cycles": cycles,
+                "cycles_per_sec": round(cycles / best),
+                "instrs_per_sec": round(result.stats.committed / best),
+            }
     return series
 
 
-def compare_speedups(fresh: dict, committed: dict) -> list:
-    """Delta rows of the ``turbo_speedup`` tables (fresh vs committed).
+def compare_speedups(fresh: dict, committed: dict,
+                     key: str = "turbo_speedup") -> list:
+    """Delta rows of one speedup table (fresh vs committed).
 
-    Same shape as :func:`compare` rows, but over the turbo/legacy
+    Same shape as :func:`compare` rows, but over the engine/legacy
     ratios: a quietly shrinking speedup is visible even when both raw
     series move together. Series present on one side only carry a None
     delta.
     """
-    fresh_table = fresh.get("turbo_speedup", {})
-    committed_table = committed.get("turbo_speedup", {})
+    fresh_table = fresh.get(key, {})
+    committed_table = committed.get(key, {})
     rows = []
     for name in sorted(set(fresh_table) | set(committed_table)):
         new = fresh_table.get(name)
@@ -258,13 +304,23 @@ def main(argv=None) -> int:
                     "machine-readable report.")
     parser.add_argument("--out", default="BENCH_core.json",
                         help="output path (default: ./BENCH_core.json)")
-    parser.add_argument("--engine", choices=("legacy", "turbo", "both"),
-                        default="both",
-                        help="execution backend(s) to measure; 'both' "
+    parser.add_argument("--engine",
+                        choices=("legacy", "turbo", "vector", "both",
+                                 "all"),
+                        default="all",
+                        help="execution backend(s) to measure; 'all' "
                              "(default) emits paired series "
-                             "(kind/bench and kind/bench@turbo) plus a "
-                             "turbo speedup table")
+                             "(kind/bench, kind/bench@turbo and "
+                             "kind/bench@vector) plus per-engine "
+                             "speedup tables; 'both' is the historical "
+                             "legacy+turbo pair")
     parser.add_argument("--repeats", type=int, default=BENCH_REPEATS)
+    parser.add_argument("--quick", action="store_true",
+                        help="one repeat on a reduced instruction "
+                             "budget, history append skipped — for the "
+                             "CI regression step and local iteration "
+                             "(only comparable against another --quick "
+                             "report)")
     parser.add_argument("--against", default=None, metavar="PATH",
                         help="committed report to diff the fresh "
                              "measurement against (e.g. BENCH_core.json)")
@@ -301,30 +357,44 @@ def main(argv=None) -> int:
             if args.fail_on_regression is not None:
                 return 1
 
-    engines = (("legacy", "turbo") if args.engine == "both"
-               else (args.engine,))
-    if "turbo" in engines and not HAVE_NUMPY:
-        if args.engine == "turbo":
-            print("--engine turbo requires NumPy "
+    if args.engine == "all":
+        engines = ("legacy", "turbo", "vector")
+    elif args.engine == "both":
+        engines = ("legacy", "turbo")
+    else:
+        engines = (args.engine,)
+    if not HAVE_NUMPY and any(e != "legacy" for e in engines):
+        if args.engine in ("turbo", "vector"):
+            print(f"--engine {args.engine} requires NumPy "
                   "(pip install 'repro[turbo]')", file=sys.stderr)
             return 2
-        # Default 'both' degrades gracefully so the legacy trajectory
+        # Default 'all' degrades gracefully so the legacy trajectory
         # is still measurable on a dependency-free checkout.
-        print("NumPy not installed: skipping @turbo series",
+        print("NumPy not installed: skipping engine series",
               file=sys.stderr)
         engines = ("legacy",)
-    report = measure(repeats=args.repeats, engines=engines)
+    if args.quick:
+        report = measure(repeats=1, engines=engines,
+                         instructions=QUICK_INSTRUCTIONS,
+                         warmup=QUICK_WARMUP,
+                         membound_instructions=QUICK_MEMBOUND_INSTRUCTIONS,
+                         membound_warmup=QUICK_MEMBOUND_WARMUP)
+        report["protocol"]["quick"] = True
+    else:
+        report = measure(repeats=args.repeats, engines=engines)
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
     for name, row in sorted(report["series"].items()):
         print(f"{name:28s} {row['cycles_per_sec']:>9,} cycles/s "
               f"{row['instrs_per_sec']:>9,} instrs/s")
-    for name, ratio in sorted(report.get("turbo_speedup", {}).items()):
-        print(f"{name:28s} turbo speedup {ratio:.2f}x")
+    for eng in ("turbo", "vector"):
+        for name, ratio in sorted(report.get(f"{eng}_speedup",
+                                             {}).items()):
+            print(f"{name:28s} {eng} speedup {ratio:.2f}x")
     print(f"wrote {args.out}")
 
-    if not args.no_history:
+    if not args.no_history and not args.quick:
         from repro.perf import append_snapshot, make_snapshot
 
         # The timestamp is injected here, at the CLI boundary — the
@@ -352,11 +422,16 @@ def main(argv=None) -> int:
     if committed is not None:
         rows = compare(report, committed)
         print_comparison(rows)
-        speedup_rows = compare_speedups(report, committed)
-        if speedup_rows:
-            print(f"\n{'turbo speedup':28s} {'committed':>12s} "
+        speedup_rows = []
+        for eng in ("turbo", "vector"):
+            eng_rows = compare_speedups(report, committed,
+                                        key=f"{eng}_speedup")
+            if not eng_rows:
+                continue
+            speedup_rows.extend(eng_rows)
+            print(f"\n{eng + ' speedup':28s} {'committed':>12s} "
                   f"{'fresh':>12s} {'delta':>8s}")
-            for row in speedup_rows:
+            for row in eng_rows:
                 old = f"{row['old']:.2f}x" if row["old"] else "-"
                 new = f"{row['new']:.2f}x" if row["new"] else "-"
                 delta = (f"{row['delta_pct']:+7.1f}%"

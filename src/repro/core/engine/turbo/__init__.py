@@ -37,14 +37,15 @@ def require_numpy() -> None:
     """Raise the canonical error when the turbo extra is missing.
 
     Called from ``CoreConfig.__post_init__`` so an ``engine="turbo"``
-    spec fails at construction time with an actionable message instead
-    of an ImportError from deep inside a campaign worker.
+    or ``engine="vector"`` spec fails at construction time with an
+    actionable message instead of an ImportError from deep inside a
+    campaign worker.
     """
     if not HAVE_NUMPY:
         raise ConfigError(
-            "engine='turbo' requires NumPy, which is not installed; "
-            "install the turbo extra (pip install 'repro[turbo]') or "
-            "use engine='legacy'")
+            "engine='turbo'/'vector' requires NumPy, which is not "
+            "installed; install the turbo extra (pip install "
+            "'repro[turbo]') or use engine='legacy'")
 
 
 __all__ = ["HAVE_NUMPY", "require_numpy"]

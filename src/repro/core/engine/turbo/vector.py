@@ -1,0 +1,1042 @@
+"""Vector run loop for the single-clock cores (third execution tier).
+
+Same machine, same observables, less Python per cycle.  The turbo loop
+(:mod:`repro.core.engine.turbo.sync`) already fused the legacy stage
+methods into one function over SoA pools but still spends one bytecode
+stream per instruction per stage: deque pops, latch-readiness dict
+churn, per-instruction fetch/retire walks, event-dict traffic for every
+wake and completion.  This loop restructures the same transliteration
+around *vector tick kernels* — work precomputed as NumPy column
+operations at pool-build time and consumed as O(1) scalar reads per
+cycle — plus an explicit *event-horizon* skip-ahead:
+
+* **fetch groups** are precomputed: ``pool.next_branch`` (a NumPy
+  searchsorted pass per chunk) gives every row the seq of the next
+  branch at-or-after it, so one fetch is a group-length computation and
+  a single segment append instead of a per-instruction loop;
+* **latches are segments**: all instructions moved by a stage in one
+  cycle share one maturity cycle, so the fetch→decode→rename latches
+  hold ``[start, end, ready]`` triples.  Decode and rename advance a
+  whole segment (or a prefix of one) per cycle; the per-seq ``lready``
+  dict disappears;
+* **rename admission** is a prefix-sum lookup: ``pool.pre_needs``
+  (NumPy cumsum per chunk) bounds how many of the next k instructions
+  need a tag, so the tag-constrained width is a couple of integer
+  compares instead of a per-instruction walk;
+* **completion is a schedule-time write**: the cycle an instruction
+  completes is fully determined at issue (``c + latency + regread``),
+  so the done-event dict becomes a per-seq ``done_cyc`` column written
+  once at issue and compared at retire — the per-cycle event-dict pop
+  and per-instruction append disappear.  A branch resolving only ever
+  unblocks fetch, so a mispredict redirect is likewise written at
+  issue, straight into the ``fetch_resume`` bound;
+* **wakeup broadcast resolves at issue**: a producer's wake cycle is
+  known the moment it issues, so its waiters are settled right there —
+  each gets its earliest select cycle (``max`` over operand wake
+  cycles, plus the wake-gate) and enters the maturity heap directly.
+  Consumers dispatched *after* the producer issued read the wake cycle
+  off a ``rdy_cyc`` tag column and never attach a waiter at all.  The
+  scoreboard flip and the ``iw_broadcast``/``rf_write`` counters are
+  settled lazily from a pending-wake heap at observation points
+  (flush/trip/finish), which means **a cycle whose only event is a
+  wake broadcast no longer needs a tick**: the horizon jumps over it.
+  The select heaps themselves are unchanged — program-order priority
+  is load-bearing;
+* **the ROB is a seq interval** ``[rob_head, rob_tail)`` — dispatch
+  appends in program order and retire pops in order, so the legacy
+  deque carries no information beyond its endpoints.  The **retire
+  scan** compares ``done_cyc`` over at most ``commit_width`` entries
+  and settles counters from the ``pre_mem``/``pre_store``/
+  ``pre_needs`` prefix columns in O(1); only actual stores walk
+  individually (they touch cache state);
+* the **event-horizon scheduler** runs whenever no instruction is
+  selectable and the ROB head is not retirable: it computes the next
+  cycle at which *any* stage could act — the min over latch-segment
+  maturity, the fetch-resume bound (mispredict redirect), the
+  dispatch- and wake-path maturity heads, and the ROB head's
+  completion cycle — and jumps ``c`` straight there.  Safety argument:
+  every state change in this machine is caused by a stage acting; a
+  stage acts only on a mature latch segment, a selectable window
+  entry, a resumable fetch cursor, or a retirable ROB head, and each
+  of those becomes possible no earlier than one of the bound sources
+  (wake broadcasts and non-head completions enable no stage directly:
+  select maturity is carried by the heaps, retirement is in order, and
+  the mispredict redirect is the fetch bound).  Between ``c`` and the
+  min bound no stage can act, so no counter, cache, trace or DVFS
+  observable can move (interval hooks fire on the first simulated
+  cycle past the boundary with a correspondingly longer interval, the
+  same late-fire contract as the legacy and turbo loops, DESIGN.md
+  §4).  Jumped cycles therefore need no per-cycle accounting at all;
+  stats that are functions of ``c`` are settled at flush points by
+  absolute assignment.
+
+With the flight recorder attached the loop keeps the turbo engine's
+event dicts and per-cycle pops instead of the lazy wake settlement:
+"stall" and "complete" emissions are pinned to the exact cycles the
+legacy engine produces them, so the executed tick set must stay
+identical to the turbo loop's, and it does — the event dicts rejoin
+the bound computation.
+
+Architectural counters accumulate in locals and are flushed by absolute
+assignment at every observation point (DVFS interval hooks, a watchdog
+trip, end of run) exactly as in the turbo loop.  Because the loop
+carries its state in columns, every observation point *translates*
+back to the live-object protocol: ``be._rob_q`` is materialized from
+the interval endpoints, ``be.done_events``/``be.wake_events`` are
+rebuilt from the completion column and the pending-wake heap (entry
+cycles >= the observed cycle — exactly the keys the turbo loop would
+still hold), the scoreboard is refreshed from ``rdy_cyc``, and the
+fetch-block triple (``_fetch_blocked``, ``_mispredict_seq``,
+``_fetch_resume_cycle``) is derived from the resume bound.  The golden
+gate (tests/test_golden_stats.py) holds this loop to bit-identical
+SimStats, cache stats and metric snapshots against both the legacy and
+turbo engines.
+
+The dual-clock flywheel keeps its hot state in real DynInstr objects
+(created-mode pipelines mutate them in place), so its vector tier
+routes to the turbo hybrid loop — see ``FlywheelCore.run``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from heapq import heappop, heappush
+from time import perf_counter
+
+from repro.core.engine.turbo.pool import get_pool
+from repro.core.engine.turbo.sync import (
+    _DONE_SLACK,
+    _flush,
+    _flush_mem,
+)
+from repro.errors import SimulationError
+from repro.mem.hierarchy import MemoryHierarchy
+
+#: single-iteration loop driver for the horizon block: ``break`` means
+#: "a stage can act this cycle", falling through to ``else`` means the
+#: computed bound (if any) is a provably dead range.
+_ONE = (0,)
+
+#: sentinel completion/ready cycle: "not scheduled yet".  Large enough
+#: that it can never be reached by a real run, small enough to stay a
+#: machine int.
+_HUGE = 1 << 62
+
+
+def run_vector_sync(core, max_instructions: int, warmup: int = 0,
+                    prof=None):
+    """Drop-in replacement for ``BaselineCore.run`` (vector backend).
+
+    ``prof``, when given, is duck-typed as a PhaseProfile: wall-clock
+    seconds are accumulated into ``prof.seconds["pool"]`` (pool/plan
+    build + warm replay), ``prof.seconds["kernel"]`` (the fused loop
+    minus horizon analysis) and ``prof.seconds["horizon"]`` (the
+    event-horizon skip-ahead analysis), and ``prof.ticks`` counts
+    executed cycles.
+    """
+    t0 = perf_counter()
+    config = core.config
+    stream = core.stream
+    pool = get_pool(stream.program, stream.seed, config.bpred)
+    s0 = stream._seq
+
+    if warmup:
+        pool.ensure(s0 + warmup)
+        w_ifetch = core.hierarchy.warm_ifetch
+        w_load = core.hierarchy.warm_load
+        w_store = core.hierarchy.warm_store
+        wp_pc = pool.pc
+        wp_addr = pool.mem_addr
+        wp_isld = pool.is_load
+        for s in range(s0, s0 + warmup):
+            if not s & 3:              # seq % 4 == 0, as in legacy warmup
+                w_ifetch(wp_pc[s])
+            addr = wp_addr[s]
+            if addr is not None:
+                if wp_isld[s]:
+                    w_load(addr)
+                else:
+                    w_store(addr)
+        if core.dvfs is not None:
+            core.dvfs.reset_baseline(core)
+
+    r0 = s0 + warmup                   # first timed seq
+    plan = pool.plan(r0, config.phys_regs)
+    plan.ensure(r0 + plan.CHUNK)
+
+    # ---- pool columns (absolute seq index; stable list identities) ----
+    p_pc = pool.pc
+    p_addr = pool.mem_addr
+    p_nsrcs = pool.n_srcs
+    p_correct = pool.correct
+    p_isld = pool.is_load
+    p_isst = pool.is_store
+    p_lat = pool.lat0
+    p_fu = pool.fu_kind
+    p_unp = pool.unpip
+    p_nextb = pool.next_branch
+    pre_mem = pool.pre_mem
+    pre_store = pool.pre_store
+    pre_needs = pool.pre_needs
+    # ---- plan columns (index with seq - r0) ----
+    p_dtag = plan.dest_tag
+    p_stags = plan.src_tags
+    p_needs = plan.needs_tag
+    plan_n = plan.n
+
+    # ---- machine bindings ----
+    stats = core.stats
+    events = stats.events
+    be = core.be
+    iw = core.iw
+    hierarchy = core.hierarchy
+    h_ifetch = hierarchy.ifetch
+    h_load = hierarchy.load
+    h_store = hierarchy.store
+    ready_sb = be.ready                # physical-register scoreboard
+    wake_events = be.wake_events
+    done_events = be.done_events
+    fu = be.fu
+    f_counts = fu._counts
+    f_used = fu._used
+    f_res = fu._reserved
+    f_dirty = fu._dirty
+    f_nres = fu._n_reserved
+    f_zeros = fu._zeros
+    tr = core.trace
+    tron = tr is not None
+    emit = tr.emit if tron else None
+    if tron:
+        # The recorder pins emissions to exact cycles, so the trace
+        # path keeps the turbo-style live event dicts (and their ticks).
+        if type(wake_events) is dict:
+            be.wake_events = wake_events = defaultdict(list, wake_events)
+        if type(done_events) is dict:
+            be.done_events = done_events = defaultdict(list, done_events)
+    dvfs = core.dvfs
+    dvfs_next = dvfs.next_check if dvfs is not None else None
+    mem_scale = core.mem_scale
+    watchdog = core.watchdog
+    window = watchdog.window
+
+    # Simple-spec memory fast path, inlined exactly as in the turbo loop.
+    fastmem = h_load.__func__ is MemoryHierarchy._load_fast
+    if fastmem:
+        l1i_c = hierarchy.l1i
+        l1d_c = hierarchy.l1d
+        l2_c = hierarchy.l2
+        i_sets = l1i_c._sets
+        i_lsh = l1i_c._line_shift
+        i_sm = l1i_c._set_mask
+        i_ts = l1i_c._tag_shift
+        i_ways = l1i_c.ways
+        d_sets = l1d_c._sets
+        d_lsh = l1d_c._line_shift
+        d_sm = l1d_c._set_mask
+        d_ts = l1d_c._tag_shift
+        d_ways = l1d_c.ways
+        l2_sets = l2_c._sets
+        l2_lsh = l2_c._line_shift
+        l2_sm = l2_c._set_mask
+        l2_ts = l2_c._tag_shift
+        l2_ways = l2_c.ways
+        i_clk = l1i_c._clock
+        i_acc = l1i_c.stats.accesses
+        i_hit = l1i_c.stats.hits
+        i_miss = l1i_c.stats.misses
+        i_ev = l1i_c.stats.evictions
+        d_clk = l1d_c._clock
+        d_acc = l1d_c.stats.accesses
+        d_hit = l1d_c.stats.hits
+        d_miss = l1d_c.stats.misses
+        d_ev = l1d_c.stats.evictions
+        d_wr = l1d_c.stats.writes
+        l2_clk = l2_c._clock
+        l2_acc = l2_c.stats.accesses
+        l2_hit = l2_c.stats.hits
+        l2_miss = l2_c.stats.misses
+        l2_ev = l2_c.stats.evictions
+        l2_wr = l2_c.stats.writes
+        l1_lat = hierarchy._l1_lat
+        l12_lat = hierarchy._l12_lat
+        l1i_lat = hierarchy._l1i_lat
+        l1i2_lat = hierarchy._l1i2_lat
+        dram_lat = hierarchy._dram_lat
+        dram_cost = max(1, round(dram_lat * mem_scale))
+
+    # ---- config scalars ----
+    fetch_width = config.fetch_width
+    decode_width = config.decode_width
+    rename_width = config.rename_width
+    dispatch_width = config.dispatch_width
+    issue_width = config.issue_width
+    commit_width = config.commit_width
+    fetch_cap = core.fe._fetch_cap
+    extra_fe = config.extra_frontend_stages
+    wk_gate = config.wakeup_extra_delay
+    regread = config.regread_stages
+    rob_cap = be.rob.capacity
+    iw_cap = iw.capacity
+    lsq_cap = be.lsq.capacity
+
+    # ---- vector-local machine state ----
+    fetch_out = deque()                # [start, end, ready] segments
+    decode_out = deque()               # [start, end, ready] segments
+    rename_out = deque()               # [start, end, ready] segments
+    size = max_instructions + _DONE_SLACK
+    nr_arr = [0] * size                # seq - r0 -> unready srcs (-1: gone)
+    early_arr = [0] * size             # seq - r0 -> earliest select cycle
+    done_cyc = [_HUGE] * size          # seq - r0 -> completion cycle
+    waiters_a = [None] * config.phys_regs   # tag -> [seq] wake-up index
+    wake_h = []                        # heap of (wake, tag): lazy settle
+    done_h = []                        # heap of completion cycles: only
+    #                                    consulted when a jump nears an
+    #                                    interval/watchdog threshold
+    future = []                        # heap of (earliest, seq): wake path
+    fdq = deque()                      # FIFO of seq: dispatch path —
+    #                                    earliest is always c+1, monotone,
+    #                                    so arrival order IS maturity order
+    eligible = []                      # heap of seq (selectable now)
+    blocked = []                       # per-cycle scratch for select
+    free_count = len(core.renamer._free)
+    fs = r0                            # fetch cursor (next seq to fetch)
+    rob_head = rob_tail = r0           # ROB as a contiguous seq interval
+    if be._rob_q:                      # fresh cores start empty; honour a
+        rob_head = be._rob_q[0]        # pre-populated deque anyway
+        rob_tail = be._rob_q[-1] + 1
+    rob_len = rob_tail - rob_head
+    fetch_len = 0                      # instructions in fetch_out
+
+    # tag -> cycle its value becomes readable (-1 = ready now, _HUGE =
+    # producer not issued yet).  Seeded from the live scoreboard and the
+    # pending wake events so a resumed core observes the same timing the
+    # turbo loop would.
+    rdy_cyc = [-1 if r else _HUGE for r in ready_sb]
+    if wake_events:
+        for wck, wtags in wake_events.items():
+            for t in wtags:
+                rdy_cyc[t] = wck
+                if not tron:
+                    heappush(wake_h, (wck, t))
+
+    # ---- counters (absolute values; flushed by assignment) ----
+    committed = stats.committed
+    fetched = stats.fetched
+    issued = stats.issued
+    branches = stats.branches
+    mispredicts = stats.mispredicts
+    iw_count = iw._count
+    lsq_count = be.lsq._count
+    e_ic = events["icache_access"]
+    e_bp = events["bpred_lookup"]
+    e_dec = events["decode_op"]
+    e_ren = events["rename_op"]
+    e_iww = events["iw_write"]
+    e_robw = events["rob_write"]
+    e_lsqw = events["lsq_write"]
+    e_iws = events["iw_select"]
+    e_rfr = events["rf_read"]
+    e_fuo = events["fu_op"]
+    e_dca = events["dcache_access"]
+    e_iwb = events["iw_broadcast"]
+    e_rfw = events["rf_write"]
+    e_robr = events["rob_read"]
+    rf_touched = False
+    offs = (iw.writes - e_iww, iw.broadcasts - e_iwb,
+            be.rob.writes - e_robw, be.lsq.inserts - e_lsqw,
+            fu.ops - e_fuo)
+
+    # ---- fetch-block translation (live triple -> resume bound) ----
+    # The loop carries the mispredict redirect as a single bound:
+    # ``fetch_resume``.  An unresolved mispredict is ``_HUGE`` (the
+    # resolving completion writes the real cycle at issue);
+    # ``resume_stale`` preserves the pre-mispredict value so trip/finish
+    # can reconstruct the turbo-visible triple exactly.
+    mispred_seq = core._mispredict_seq
+    fetch_resume = core._fetch_resume_cycle
+    resume_stale = fetch_resume
+    if done_events:
+        # Seed the completion column from events scheduled by a
+        # previous run on this core (fresh cores: empty, no cost).
+        for dck, dlst in done_events.items():
+            for s in dlst:
+                j = s - r0
+                if 0 <= j < size:
+                    done_cyc[j] = dck
+            if not tron:
+                heappush(done_h, dck)
+    if core._fetch_blocked:
+        fetch_resume = _HUGE
+        for dck, dlst in done_events.items():
+            if mispred_seq in dlst:
+                fetch_resume = dck + 1
+                break
+    c = core.cycle
+    last_cycle = 0
+    last_count = -1
+    ticks = 0
+    profiling = prof is not None
+    pc_now = perf_counter
+    t_h = 0.0
+    _th = 0.0
+
+    t1 = perf_counter()
+
+    while committed < max_instructions:
+        ticks += 1
+        # ------------------------------------------------ be.tick: FU reset
+        if f_dirty:
+            f_used[:] = f_zeros
+            f_dirty = False
+        if f_nres:
+            remaining = 0
+            for res in f_res:
+                if res:
+                    res[:] = [t for t in res if t > c]
+                    remaining += len(res)
+            f_nres = remaining
+        # ---------------------------------------------- be.tick: writeback
+        if tron:
+            wakes = wake_events.pop(c, None)
+            if wakes is not None:
+                for tag in wakes:
+                    ready_sb[tag] = 1
+                n = len(wakes)
+                e_iwb += n
+                e_rfw += n
+            dones = done_events.pop(c, None)
+            if dones is not None:
+                for s in dones:
+                    emit(c, "complete", s)
+        # ------------------------------------------------- be.tick: retire
+        if rob_tail > rob_head and done_cyc[rob_head - r0] <= c:
+            h = rob_head
+            lim = h + commit_width
+            if lim > rob_tail:
+                lim = rob_tail
+            end = h + 1
+            while end < lim and done_cyc[end - r0] <= c:
+                end += 1
+            if pre_store[end] - pre_store[h]:
+                for s in range(h, end):
+                    if p_isst[s]:
+                        addr = p_addr[s]
+                        e_dca += 1
+                        if fastmem:
+                            d_clk += 1
+                            d_acc += 1
+                            d_wr += 1
+                            line = addr >> d_lsh
+                            cset = d_sets[line & d_sm]
+                            ctag = line >> d_ts
+                            if ctag in cset:
+                                cset[ctag] = d_clk
+                                d_hit += 1
+                            else:
+                                d_miss += 1
+                                if len(cset) >= d_ways:
+                                    victim = min(cset, key=cset.get)
+                                    del cset[victim]
+                                    d_ev += 1
+                                cset[ctag] = d_clk
+                                l2_clk += 1
+                                l2_acc += 1
+                                l2_wr += 1
+                                line = addr >> l2_lsh
+                                cset = l2_sets[line & l2_sm]
+                                ctag = line >> l2_ts
+                                if ctag in cset:
+                                    cset[ctag] = l2_clk
+                                    l2_hit += 1
+                                else:
+                                    l2_miss += 1
+                                    if len(cset) >= l2_ways:
+                                        victim = min(cset, key=cset.get)
+                                        del cset[victim]
+                                        l2_ev += 1
+                                    cset[ctag] = l2_clk
+                        else:
+                            h_store(addr, mem_scale, c)
+            nret = end - h
+            lsq_count -= pre_mem[end] - pre_mem[h]
+            free_count += pre_needs[end] - pre_needs[h]
+            committed += nret
+            e_robr += nret
+            rob_head = end
+            rob_len -= nret
+            if tron:
+                for s in range(h, end):
+                    emit(c, "retire", s)
+        # ------------------------------------------------------------ issue
+        if iw_count and not (wk_gate and c & 1):
+            while fdq and early_arr[fdq[0] - r0] <= c:
+                heappush(eligible, fdq.popleft())
+            while future and future[0][0] <= c:
+                heappush(eligible, heappop(future)[1])
+            if eligible:
+                nsel = 0
+                while eligible:
+                    if nsel >= issue_width:
+                        break
+                    s = heappop(eligible)
+                    k = p_fu[s]
+                    if f_counts[k] - f_used[k] - len(f_res[k]) > 0:
+                        f_used[k] += 1
+                        f_dirty = True
+                        lat = p_lat[s]
+                        if p_unp[s]:
+                            f_res[k].append(c + lat)
+                            f_nres += 1
+                        nr_arr[s - r0] = -1
+                        iw_count -= 1
+                        # schedule (legacy schedule_group, in order)
+                        if p_isld[s]:
+                            e_dca += 1
+                            if fastmem:
+                                addr = p_addr[s]
+                                d_clk += 1
+                                d_acc += 1
+                                line = addr >> d_lsh
+                                cset = d_sets[line & d_sm]
+                                ctag = line >> d_ts
+                                if ctag in cset:
+                                    cset[ctag] = d_clk
+                                    d_hit += 1
+                                    lat += l1_lat
+                                else:
+                                    d_miss += 1
+                                    if len(cset) >= d_ways:
+                                        victim = min(cset, key=cset.get)
+                                        del cset[victim]
+                                        d_ev += 1
+                                    cset[ctag] = d_clk
+                                    l2_clk += 1
+                                    l2_acc += 1
+                                    line = addr >> l2_lsh
+                                    cset = l2_sets[line & l2_sm]
+                                    ctag = line >> l2_ts
+                                    if ctag in cset:
+                                        cset[ctag] = l2_clk
+                                        l2_hit += 1
+                                        lat += l12_lat
+                                    else:
+                                        l2_miss += 1
+                                        if len(cset) >= l2_ways:
+                                            victim = min(cset, key=cset.get)
+                                            del cset[victim]
+                                            l2_ev += 1
+                                        cset[ctag] = l2_clk
+                                        lat += l12_lat + dram_cost
+                            else:
+                                lat += h_load(p_addr[s], mem_scale, c)
+                        if tron:
+                            emit(c, "issue", s, lat)
+                        wake = c + lat
+                        tag = p_dtag[s - r0]
+                        if tag >= 0:
+                            rdy_cyc[tag] = wake
+                            if tron:
+                                wake_events[wake].append(tag)
+                            else:
+                                heappush(wake_h, (wake, tag))
+                            # settle waiters now: the broadcast cycle is
+                            # decided, so their select maturity is too
+                            lst = waiters_a[tag]
+                            if lst is not None:
+                                waiters_a[tag] = None
+                                wgd = wake + wk_gate
+                                for s2 in lst:
+                                    j2 = s2 - r0
+                                    nr2 = nr_arr[j2]
+                                    if nr2 < 0:
+                                        continue
+                                    nr2 -= 1
+                                    nr_arr[j2] = nr2
+                                    er2 = early_arr[j2]
+                                    if wgd > er2:
+                                        er2 = early_arr[j2] = wgd
+                                    if nr2 == 0:
+                                        heappush(future, (er2, s2))
+                                    elif nr2 < 0:
+                                        raise SimulationError(
+                                            "negative wait count in "
+                                            "issue window")
+                        dc = wake + regread
+                        done_cyc[s - r0] = dc
+                        if not tron:
+                            heappush(done_h, dc)
+                        if s == mispred_seq:
+                            # resolving completion redirects fetch
+                            fetch_resume = dc + 1
+                        if tron:
+                            done_events[dc].append(s)
+                        e_rfr += p_nsrcs[s]
+                        nsel += 1
+                    else:
+                        blocked.append(s)
+                for s in blocked:
+                    heappush(eligible, s)
+                blocked.clear()
+                if nsel:
+                    issued += nsel
+                    e_iws += nsel
+                    e_fuo += nsel
+                    rf_touched = True
+                elif tron:
+                    emit(c, "stall", -1, "fu_busy")
+            elif tron:
+                emit(c, "stall", -1, "dep_wait")
+        # --------------------------------------------------------- dispatch
+        if rename_out:
+            n = 0
+            while rename_out and n < dispatch_width:
+                seg = rename_out[0]
+                if seg[2] > c:
+                    break
+                s = seg[0]
+                if rob_len >= rob_cap or iw_count >= iw_cap:
+                    if tron:
+                        emit(c, "stall", s,
+                             "rob_full" if rob_len >= rob_cap else "iw_full")
+                    break
+                addr = p_addr[s]
+                if addr is not None and lsq_count >= lsq_cap:
+                    if tron:
+                        emit(c, "stall", s, "lsq_full")
+                    break
+                seg[0] = s + 1
+                if seg[0] == seg[1]:
+                    rename_out.popleft()
+                rob_tail += 1          # == s + 1: dispatch is program order
+                rob_len += 1
+                if addr is not None:
+                    lsq_count += 1
+                    e_lsqw += 1
+                e_robw += 1
+                # window insert: stores never wait on operands; operands
+                # of already-issued producers have a known ready cycle
+                # and enter the maturity heap directly
+                nr = 0
+                er = c + 1
+                if not p_isst[s]:
+                    for tag in p_stags[s - r0]:
+                        rc = rdy_cyc[tag]
+                        if rc > c:
+                            if rc == _HUGE:
+                                wl = waiters_a[tag]
+                                if wl is None:
+                                    waiters_a[tag] = [s]
+                                else:
+                                    wl.append(s)
+                                nr += 1
+                            else:
+                                rc += wk_gate
+                                if rc > er:
+                                    er = rc
+                j = s - r0
+                nr_arr[j] = nr
+                early_arr[j] = er
+                if not nr:
+                    if er == c + 1:
+                        fdq.append(s)
+                    else:
+                        heappush(future, (er, s))
+                iw_count += 1
+                e_iww += 1
+                if tron:
+                    emit(c, "dispatch", s)
+                n += 1
+        # ----------------------------------------------------------- rename
+        if decode_out:
+            n = 0
+            d0 = -1
+            while decode_out and n < rename_width:
+                seg = decode_out[0]
+                if seg[2] > c:
+                    break
+                s0 = seg[0]
+                t = seg[1] - s0
+                room = rename_width - n
+                if t > room:
+                    t = room
+                base = pre_needs[s0]
+                need = pre_needs[s0 + t] - base
+                stalled = False
+                if need > free_count:
+                    while t and pre_needs[s0 + t] - base > free_count:
+                        t -= 1
+                    need = pre_needs[s0 + t] - base
+                    stalled = True
+                if need:
+                    free_count -= need
+                    for s in range(s0, s0 + t):
+                        i = s - r0
+                        if p_needs[i]:
+                            tg = p_dtag[i]
+                            ready_sb[tg] = 0
+                            rdy_cyc[tg] = _HUGE
+                if t:
+                    if d0 < 0:
+                        d0 = s0
+                    seg[0] = s0 + t
+                    if seg[0] == seg[1]:
+                        decode_out.popleft()
+                    n += t
+                if stalled:
+                    break
+            if n:
+                e_ren += n
+                rename_out.append([d0, d0 + n, c + 1])
+                if tron:
+                    for s in range(d0, d0 + n):
+                        emit(c, "rename", s)
+        # ----------------------------------------------------------- decode
+        if fetch_out:
+            n = 0
+            d0 = -1
+            while fetch_out and n < decode_width:
+                seg = fetch_out[0]
+                if seg[2] > c:
+                    break
+                s0 = seg[0]
+                t = seg[1] - s0
+                room = decode_width - n
+                if t > room:
+                    t = room
+                if d0 < 0:
+                    d0 = s0
+                seg[0] = s0 + t
+                if seg[0] == seg[1]:
+                    fetch_out.popleft()
+                n += t
+            if n:
+                e_dec += n
+                fetch_len -= n
+                decode_out.append([d0, d0 + n, c + 1])
+                if tron:
+                    for s in range(d0, d0 + n):
+                        emit(c, "decode", s)
+        # ------------------------------------------------------------ fetch
+        if c >= fetch_resume:
+            if fetch_len < fetch_cap:
+                if fs + fetch_width > plan_n:
+                    plan.ensure(fs + plan.CHUNK)
+                    plan_n = plan.n
+                e_ic += 1
+                if fastmem:
+                    pc = p_pc[fs]
+                    i_clk += 1
+                    i_acc += 1
+                    line = pc >> i_lsh
+                    cset = i_sets[line & i_sm]
+                    ctag = line >> i_ts
+                    if ctag in cset:
+                        cset[ctag] = i_clk
+                        i_hit += 1
+                        rdy = c + l1i_lat + extra_fe
+                    else:
+                        i_miss += 1
+                        if len(cset) >= i_ways:
+                            victim = min(cset, key=cset.get)
+                            del cset[victim]
+                            i_ev += 1
+                        cset[ctag] = i_clk
+                        l2_clk += 1
+                        l2_acc += 1
+                        line = pc >> l2_lsh
+                        cset = l2_sets[line & l2_sm]
+                        ctag = line >> l2_ts
+                        if ctag in cset:
+                            cset[ctag] = l2_clk
+                            l2_hit += 1
+                            rdy = c + l1i2_lat + extra_fe
+                        else:
+                            l2_miss += 1
+                            if len(cset) >= l2_ways:
+                                victim = min(cset, key=cset.get)
+                                del cset[victim]
+                                l2_ev += 1
+                            cset[ctag] = l2_clk
+                            rdy = c + l1i2_lat + dram_cost + extra_fe
+                else:
+                    rdy = (c + h_ifetch(p_pc[fs], mem_scale, c)
+                           + extra_fe)
+                # group-length kernel: the group ends at the first branch
+                # or at fetch_width, whichever comes first
+                nb = p_nextb[fs]
+                d = nb - fs
+                if d >= fetch_width:
+                    n = fetch_width
+                else:
+                    n = d + 1
+                    branches += 1
+                    e_bp += 1
+                    if not p_correct[nb]:
+                        mispredicts += 1
+                        mispred_seq = nb
+                        resume_stale = fetch_resume
+                        fetch_resume = _HUGE
+                fetch_out.append([fs, fs + n, rdy])
+                if tron:
+                    for s in range(fs, fs + n):
+                        emit(c, "fetch", s)
+                fs += n
+                fetched += n
+                fetch_len += n
+        # --------------------------------------------- cycle advance + run
+        c += 1
+        if committed != last_count:
+            last_count = committed
+            last_cycle = c
+            if committed >= max_instructions:
+                break
+        elif c - last_cycle > window:
+            if not tron:
+                e_iwb += (nw := _settle_wakes(be, wake_h, rdy_cyc, c))
+                e_rfw += nw
+                _rebuild_done(be, done_cyc, r0, rob_head, rob_tail, c)
+            _flush(core, c, committed, fetched, issued, branches,
+                   mispredicts, iw_count, lsq_count, e_ic, e_bp, e_dec,
+                   e_ren, e_iww, e_robw, e_lsqw, e_iws, e_rfr, e_fuo,
+                   e_dca, e_iwb, e_rfw, e_robr, rf_touched, offs)
+            _mat_rob(be, rob_head, rob_tail)
+            if fastmem:
+                _flush_mem(hierarchy, i_clk, i_acc, i_hit, i_miss, i_ev,
+                           d_clk, d_acc, d_hit, d_miss, d_ev, d_wr,
+                           l2_clk, l2_acc, l2_hit, l2_miss, l2_ev, l2_wr)
+            _vtrip(core, c, committed, pool, r0, done_cyc,
+                   mispred_seq != -1 and fetch_resume > c)
+        if dvfs_next is not None and c >= dvfs_next:
+            if not tron:
+                e_iwb += (nw := _settle_wakes(be, wake_h, rdy_cyc, c))
+                e_rfw += nw
+            _flush(core, c, committed, fetched, issued, branches,
+                   mispredicts, iw_count, lsq_count, e_ic, e_bp, e_dec,
+                   e_ren, e_iww, e_robw, e_lsqw, e_iws, e_rfr, e_fuo,
+                   e_dca, e_iwb, e_rfw, e_robr, rf_touched, offs)
+            _mat_rob(be, rob_head, rob_tail)
+            if fastmem:
+                _flush_mem(hierarchy, i_clk, i_acc, i_hit, i_miss, i_ev,
+                           d_clk, d_acc, d_hit, d_miss, d_ev, d_wr,
+                           l2_clk, l2_acc, l2_hit, l2_miss, l2_ev, l2_wr)
+            dvfs_next = dvfs.on_interval(core, c)
+            mem_scale = core.mem_scale     # the governor may retune it
+            if fastmem:
+                dram_cost = max(1, round(dram_lat * mem_scale))
+        # -------------------------------------------------- event horizon
+        if eligible or (rob_tail > rob_head
+                        and done_cyc[rob_head - r0] <= c):
+            continue
+        if profiling:
+            _th = pc_now()
+        jump = -1
+        for _ in _ONE:                 # break == "a stage acts this cycle"
+            bound = -1
+            if c >= fetch_resume:
+                if fetch_len < fetch_cap:
+                    break              # fetch can act
+            elif fetch_resume != _HUGE:
+                bound = fetch_resume
+            if fetch_out:
+                rc = fetch_out[0][2]
+                if rc <= c:
+                    break              # decode moves this cycle
+                if bound < 0 or rc < bound:
+                    bound = rc
+            if decode_out:
+                seg = decode_out[0]
+                rc = seg[2]
+                if rc <= c:
+                    if not (p_needs[seg[0] - r0] and not free_count):
+                        break          # rename moves this cycle
+                elif bound < 0 or rc < bound:
+                    bound = rc
+            if rename_out:
+                seg = rename_out[0]
+                rc = seg[2]
+                if rc <= c:
+                    if not (rob_len >= rob_cap or iw_count >= iw_cap
+                            or (p_addr[seg[0]] is not None
+                                and lsq_count >= lsq_cap)):
+                        break          # dispatch moves this cycle
+                elif bound < 0 or rc < bound:
+                    bound = rc
+            if fdq:
+                fmin = early_arr[fdq[0] - r0]
+                if bound < 0 or fmin < bound:
+                    bound = fmin
+            if future:
+                fmin = future[0][0]
+                if bound < 0 or fmin < bound:
+                    bound = fmin
+            if rob_tail > rob_head:
+                dcb = done_cyc[rob_head - r0]
+                if dcb != _HUGE and (bound < 0 or dcb < bound):
+                    bound = dcb
+            if tron:
+                # the live dicts pin the executed tick set to turbo's,
+                # keeping every emission on its legacy cycle
+                if wake_events:
+                    ev = min(wake_events)
+                    if bound < 0 or ev < bound:
+                        bound = ev
+                if done_events:
+                    ev = min(done_events)
+                    if bound < 0 or ev < bound:
+                        bound = ev
+        else:
+            if bound > c:
+                # Interval hooks and the watchdog fire on the first
+                # *executed* cycle past their threshold, and the
+                # legacy/turbo tick set executes every wake and
+                # completion cycle.  Skipping those ticks is the whole
+                # point of this tier — observably free except for the
+                # fire cycle itself — so when (and only when) a jump
+                # would reach a threshold, rejoin the legacy tick set
+                # by folding the pending wake/completion heads into
+                # the bound.  Wakes popped as stale here are settled
+                # into the broadcast counters, same rule as at flush.
+                if not tron:
+                    limit = last_cycle + window
+                    if dvfs_next is not None and dvfs_next - 1 < limit:
+                        limit = dvfs_next - 1
+                    if bound >= limit:
+                        while wake_h and wake_h[0][0] < c:
+                            heappop(wake_h)
+                            e_iwb += 1
+                            e_rfw += 1
+                        if wake_h and wake_h[0][0] < bound:
+                            bound = wake_h[0][0]
+                        while done_h and done_h[0] < c:
+                            heappop(done_h)
+                        if done_h and done_h[0] < bound:
+                            bound = done_h[0]
+                if bound > c:
+                    jump = bound
+        if profiling:
+            t_h += pc_now() - _th
+        if jump > 0:
+            c = jump
+
+    # -------------------------------------------------------------- finish
+    if not tron:
+        e_iwb += (nw := _settle_wakes(be, wake_h, rdy_cyc, c))
+        e_rfw += nw
+        _rebuild_done(be, done_cyc, r0, rob_head, rob_tail, c)
+    _flush(core, c, committed, fetched, issued, branches, mispredicts,
+           iw_count, lsq_count, e_ic, e_bp, e_dec, e_ren, e_iww, e_robw,
+           e_lsqw, e_iws, e_rfr, e_fuo, e_dca, e_iwb, e_rfw, e_robr,
+           rf_touched, offs)
+    _mat_rob(be, rob_head, rob_tail)
+    if fastmem:
+        _flush_mem(hierarchy, i_clk, i_acc, i_hit, i_miss, i_ev,
+                   d_clk, d_acc, d_hit, d_miss, d_ev, d_wr,
+                   l2_clk, l2_acc, l2_hit, l2_miss, l2_ev, l2_wr)
+    fu._dirty = f_dirty
+    fu._n_reserved = f_nres
+    fu._cycle = c - 1 if ticks else fu._cycle
+    # translate the resume bound back to the turbo-visible triple
+    blocked_now = mispred_seq != -1 and fetch_resume > c
+    core._fetch_blocked = blocked_now
+    core._mispredict_seq = mispred_seq if blocked_now else -1
+    core._fetch_resume_cycle = (resume_stale if blocked_now
+                                else fetch_resume)
+    stats.be_cycles_create = c
+    stats.fe_cycles_active = c
+
+    if prof is not None:
+        t2 = perf_counter()
+        prof.seconds["pool"] += t1 - t0
+        prof.seconds["kernel"] += (t2 - t1) - t_h
+        prof.seconds["horizon"] += t_h
+        prof.ticks += ticks
+    return stats
+
+
+def _mat_rob(be, rob_head: int, rob_tail: int) -> None:
+    """Materialize the interval ROB into the live deque at flush points.
+
+    The vector loop carries the ROB as two ints; DVFS telemetry, metric
+    snapshots and deadlock snapshots read ``len(be.rob)`` and the head
+    seq off ``be._rob_q``, so every observation point rebuilds it.
+    """
+    rq = be._rob_q
+    rq.clear()
+    rq.extend(range(rob_head, rob_tail))
+
+
+def _settle_wakes(be, wake_h, rdy_cyc, c: int) -> int:
+    """Account the wake broadcasts the horizon jumped over.
+
+    Pops every pending wake strictly before the observed cycle (the
+    turbo loop flips/counts a wake during the tick *at* its cycle, so
+    at observation ``c`` only cycles ``< c`` have been processed),
+    returns how many — the caller adds that to ``iw_broadcast`` and
+    ``rf_write`` — then refreshes the scoreboard from ``rdy_cyc`` and
+    rebuilds ``be.wake_events`` from the still-pending entries.
+    """
+    n = 0
+    while wake_h and wake_h[0][0] < c:
+        heappop(wake_h)
+        n += 1
+    ready_sb = be.ready
+    for t, rc in enumerate(rdy_cyc):
+        ready_sb[t] = 1 if rc < c else 0
+    d = defaultdict(list)
+    for w, t in wake_h:
+        d[w].append(t)
+    be.wake_events = d
+    return n
+
+
+def _rebuild_done(be, done_cyc, r0: int, rob_head: int, rob_tail: int,
+                  c: int) -> None:
+    """Rebuild ``be.done_events`` from the completion column.
+
+    At any observation cycle ``c`` the turbo loop's dict holds exactly
+    the completions of in-flight (issued, unretired) instructions whose
+    cycle has not passed — keys ``>= c``, since the loop pops each key
+    when it simulates that cycle and the horizon never jumps over one.
+    Both facts are recoverable from the column: the seqs are in
+    ``[rob_head, rob_tail)`` and the pending ones satisfy
+    ``c <= done_cyc < _HUGE``.
+    """
+    d = defaultdict(list)
+    for s in range(rob_head, rob_tail):
+        dc = done_cyc[s - r0]
+        if c <= dc < _HUGE:
+            d[dc].append(s)
+    be.done_events = d
+
+
+def _vtrip(core, c, committed, pool, r0, done_cyc, fetch_blocked):
+    """Raise the deadlock error with the legacy snapshot shape.
+
+    The caller has already flushed (counters, ROB deque, event queues),
+    so occupancies and the event queues can be read off the live
+    objects; the oldest-entry done flag comes from the completion
+    column (set for cycles strictly before the observed one, matching
+    the turbo loop's pop-then-observe order).
+    """
+    be = core.be
+    oldest = None
+    if be._rob_q:
+        s = be._rob_q[0]
+        oldest = {"seq": s, "pc": pool.pc[s], "op": pool.op[s].name,
+                  "done": done_cyc[s - r0] < c,
+                  "is_mem": pool.mem_addr[s] is not None}
+    snap = {
+        "core": type(core).__name__,
+        "cycle": c,
+        "committed": committed,
+        "rob": {"occupancy": len(be.rob), "capacity": be.rob.capacity},
+        "lsq": {"occupancy": len(be.lsq), "capacity": be.lsq.capacity},
+        "iw": {"occupancy": len(core.iw), "capacity": core.iw.capacity},
+        "fetch_blocked": fetch_blocked,
+        "next_event_cycle": be.next_event_cycle(),
+        "oldest": oldest,
+        "mshr": core.hierarchy.stats_dict().get("mshr"),
+    }
+    if core.trace is not None:
+        snap["trace_window"] = [list(ev) for ev in core.trace.window(256)]
+    core.watchdog.trip(c, committed, snapshot=lambda: snap)

@@ -48,7 +48,7 @@ def make_snapshot(report: Dict[str, object], *, timestamp: float,
     series: Dict[str, Dict[str, object]] = {}
     for name, row in (report.get("series") or {}).items():
         series[name] = {k: row[k] for k in _SERIES_FIELDS if k in row}
-    return {
+    snap = {
         "schema": HISTORY_SCHEMA,
         "timestamp": float(timestamp),
         "code": str(code),
@@ -56,6 +56,12 @@ def make_snapshot(report: Dict[str, object], *, timestamp: float,
         "series": series,
         "turbo_speedup": dict(report.get("turbo_speedup") or {}),
     }
+    # The vector table is written only when present, so snapshots from
+    # legacy+turbo-only runs stay byte-compatible with older readers.
+    vector = dict(report.get("vector_speedup") or {})
+    if vector:
+        snap["vector_speedup"] = vector
+    return snap
 
 
 def append_snapshot(path: Union[str, Path],
@@ -104,22 +110,27 @@ def load_history(path: Union[str, Path]) -> List[Dict[str, object]]:
 #: (``turbo_speedup:baseline/gcc``) alongside the real throughput series.
 SPEEDUP_PREFIX = "turbo_speedup:"
 
+#: Every per-engine speedup table a snapshot may carry; each one gets a
+#: matching family of synthetic ``<table>:<base>`` series.
+SPEEDUP_TABLES = ("turbo_speedup", "vector_speedup")
+
 
 def series_names(history: Sequence[Dict[str, object]],
                  speedups: bool = True) -> List[str]:
     """Every series name appearing anywhere in the history, sorted.
 
-    With ``speedups`` (the default) the turbo-speedup ratios appear as
-    synthetic ``turbo_speedup:<base>`` series, so the detectors cover
-    the turbo/legacy ratio trajectory the same way they cover raw
-    throughput.
+    With ``speedups`` (the default) the engine-speedup ratios appear as
+    synthetic ``turbo_speedup:<base>`` / ``vector_speedup:<base>``
+    series, so the detectors cover the engine/legacy ratio trajectories
+    the same way they cover raw throughput.
     """
     names = set()
     for snap in history:
         names.update(snap.get("series", {}))
         if speedups:
-            names.update(SPEEDUP_PREFIX + base
-                         for base in snap.get("turbo_speedup", {}))
+            for table in SPEEDUP_TABLES:
+                names.update(f"{table}:{base}"
+                             for base in snap.get(table, {}))
     return sorted(names)
 
 
@@ -128,14 +139,18 @@ def series_values(history: Sequence[Dict[str, object]], name: str,
     """``(timestamp, value)`` trajectory of one series, oldest first.
 
     Snapshots that do not carry the series (older code, NumPy-less
-    runner skipping ``@turbo``) are simply absent from the trajectory
-    rather than contributing gaps.
+    runner skipping the engine series) are simply absent from the
+    trajectory rather than contributing gaps.
     """
     points: List[Tuple[float, float]] = []
+    table = None
+    for t in SPEEDUP_TABLES:
+        if name.startswith(t + ":"):
+            table = t
+            break
     for snap in history:
-        if name.startswith(SPEEDUP_PREFIX):
-            value = snap.get("turbo_speedup", {}).get(
-                name[len(SPEEDUP_PREFIX):])
+        if table is not None:
+            value = snap.get(table, {}).get(name[len(table) + 1:])
         else:
             value = snap.get("series", {}).get(name, {}).get(field)
         if isinstance(value, (int, float)) and not isinstance(value, bool):

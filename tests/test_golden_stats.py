@@ -161,16 +161,21 @@ def test_deprecated_wrappers_match_session_byte_for_byte(key):
 
 
 # --------------------------------------------------------------------------
-# Engine-backend golden equivalence (PR 7). The turbo backend is an
-# implementation of the same machine, never a different machine: every
-# observable — SimStats, the cache hierarchy's counters, the full metric
-# registry snapshot — must be byte-identical to the legacy engine.
-# Skipped (not failed) where the repro[turbo] extra is not installed:
-# CI runs the legacy matrix dependency-free and a dedicated turbo job
-# with NumPy.
+# Engine-backend golden equivalence (PR 7: turbo; this PR: vector). An
+# engine backend is an implementation of the same machine, never a
+# different machine: every observable — SimStats, the cache hierarchy's
+# counters, the full metric registry snapshot — must be byte-identical
+# to the legacy engine. Skipped (not failed) where the repro[turbo]
+# extra is not installed: CI runs the legacy matrix dependency-free and
+# a dedicated engine job with NumPy.
 
 turbo_required = pytest.mark.skipif(
     not HAVE_NUMPY, reason="turbo extra (NumPy) not installed")
+
+#: The non-legacy tiers, both held to the same golden gate. On the
+#: dual-clock flywheel "vector" routes to the turbo hybrid loop — the
+#: gate still runs it, pinning that routing to the same numbers.
+ENGINES = ("turbo", "vector")
 
 
 def _full_observables(result):
@@ -182,10 +187,10 @@ def _full_observables(result):
             registry.snapshot())
 
 
-def _engine_pair(kind, bench, config_kw=None, clock=None):
+def _engine_pair(kind, bench, engine, config_kw=None, clock=None):
     out = []
-    for engine in ("legacy", "turbo"):
-        config = CoreConfig(engine=engine, **(config_kw or {}))
+    for eng in ("legacy", engine):
+        config = CoreConfig(engine=eng, **(config_kw or {}))
         out.append(_full_observables(_SESSION.run_workload(
             kind, bench, config=config, clock=clock,
             max_instructions=8000, warmup=3000)))
@@ -193,44 +198,50 @@ def _engine_pair(kind, bench, config_kw=None, clock=None):
 
 
 @turbo_required
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("key", sorted(GOLDEN))
-def test_turbo_engine_reproduces_golden_pins(key):
-    """engine="turbo" must land exactly on the pre-turbo pinned counters."""
+def test_engine_reproduces_golden_pins(key, engine):
+    """Every engine tier must land exactly on the pre-turbo pinned
+    counters."""
     kind, bench = key.split("/")
-    spec = MachineSpec(kind, bench, engine="turbo",
+    spec = MachineSpec(kind, bench, engine=engine,
                        instructions=8000, warmup=3000)
     assert _pin_counters(_SESSION.run(spec).stats, key) == GOLDEN[key]
 
 
 @turbo_required
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("key", sorted(GOLDEN))
-def test_turbo_engine_full_observable_parity(key):
-    """Both backends: identical stats, cache stats and metric snapshot."""
+def test_engine_full_observable_parity(key, engine):
+    """All backends: identical stats, cache stats and metric snapshot."""
     kind, bench = key.split("/")
-    legacy, turbo = _engine_pair(kind, bench)
-    assert legacy == turbo
+    legacy, other = _engine_pair(kind, bench, engine)
+    assert legacy == other
 
 
 @pytest.mark.parametrize("gov", ("static", "occupancy", "ipc_ladder",
                                  "energy_budget"))
 @turbo_required
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("kind", sorted(_WRAPPERS))
-def test_turbo_parity_under_governors(kind, gov):
-    """The DVFS interval hook fires at the same cycles under both engines
+def test_engine_parity_under_governors(kind, engine, gov):
+    """The DVFS interval hook fires at the same cycles under every engine
 
-    (the turbo skip-ahead must never jump across an interval boundary),
-    so every governor decision — and therefore every counter and the
-    piecewise ``sim_time_ps`` — is reproduced exactly.
+    (a skip-ahead must never jump across an interval boundary — the
+    vector tier explicitly rejoins the event-bounded tick set when a
+    jump nears one), so every governor decision — and therefore every
+    counter and the piecewise ``sim_time_ps`` — is reproduced exactly.
     """
     clock = ClockPlan(governor=GovernorConfig(name=gov, interval=1000))
-    legacy, turbo = _engine_pair(kind, "gcc", clock=clock)
-    assert legacy == turbo
+    legacy, other = _engine_pair(kind, "gcc", engine, clock=clock)
+    assert legacy == other
 
 
 @turbo_required
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("kind", sorted(_WRAPPERS))
-def test_turbo_parity_with_mshr_memory_spec(kind):
+def test_engine_parity_with_mshr_memory_spec(kind, engine):
     """The general MemorySpec miss path (bounded MSHRs) is engine-neutral."""
-    legacy, turbo = _engine_pair(kind, "gcc",
+    legacy, other = _engine_pair(kind, "gcc", engine,
                                  config_kw=dict(mem=MemorySpec(mshrs=4)))
-    assert legacy == turbo
+    assert legacy == other
